@@ -1,0 +1,455 @@
+// Package bfdn is the public API of the Breadth-First Depth-Next
+// reproduction (Cosson, Massoulié, Viennot, PODC 2023): collaborative
+// exploration of unknown trees and graphs by k robots with the 2n/k +
+// O(D²·log k) competitive-overhead guarantee of the paper, together with
+// the baselines and extensions the paper discusses.
+//
+// The typical flow is three lines: build or generate a tree, call Explore,
+// read the Report:
+//
+//	t, _ := bfdn.GenerateTree(bfdn.FamilyRandom, 10_000, 30, 42)
+//	rep, _ := bfdn.Explore(t, 16)
+//	fmt.Println(rep.Rounds, "of", rep.Bound)
+//
+// Beyond the headline algorithm the package exposes the CTE baseline, the
+// recursive BFDN_ℓ family (§5), the write-read distributed model (§4.1),
+// adversarial robot break-downs (§4.2), grid-graph exploration (§4.3), the
+// balls-in-urns game and its worker-allocation interpretation (§3), and the
+// Figure 1 region map.
+package bfdn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bfdn/internal/adversary"
+	"bfdn/internal/async"
+	"bfdn/internal/bounds"
+	"bfdn/internal/core"
+	"bfdn/internal/cte"
+	"bfdn/internal/graph"
+	"bfdn/internal/levelwise"
+	"bfdn/internal/offline"
+	"bfdn/internal/recursive"
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+	"bfdn/internal/urns"
+	"bfdn/internal/writeread"
+)
+
+// Tree is an immutable rooted tree, the exploration target. Robots start at
+// its root; the tree is hidden from the algorithm and revealed edge by edge.
+type Tree struct {
+	t *tree.Tree
+}
+
+// Family names a tree-generator family.
+type Family = tree.Family
+
+// The available tree families.
+const (
+	FamilyPath        = tree.FamilyPath
+	FamilyStar        = tree.FamilyStar
+	FamilyBinary      = tree.FamilyBinary
+	FamilyTernary     = tree.FamilyTernary
+	FamilySpider      = tree.FamilySpider
+	FamilyComb        = tree.FamilyComb
+	FamilyCaterpillar = tree.FamilyCaterpillar
+	FamilyBroom       = tree.FamilyBroom
+	FamilyRandom      = tree.FamilyRandom
+	FamilyRandomBin   = tree.FamilyRandomBin
+	FamilyUneven      = tree.FamilyUneven
+)
+
+// Families lists all generator families.
+func Families() []Family { return tree.Families() }
+
+// NewTree builds a tree from a parent array: parents[0] must be -1 (the
+// root), and parents[v] < v for all other nodes.
+func NewTree(parents []int32) (*Tree, error) {
+	t, err := tree.FromParents(parents)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{t: t}, nil
+}
+
+// GenerateTree builds a member of the named family with about n nodes and
+// target depth d; seed drives the random families.
+func GenerateTree(f Family, n, d int, seed int64) (*Tree, error) {
+	t, err := tree.Generate(f, n, d, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{t: t}, nil
+}
+
+// N reports the number of nodes.
+func (t *Tree) N() int { return t.t.N() }
+
+// Depth reports D, the maximum root distance.
+func (t *Tree) Depth() int { return t.t.Depth() }
+
+// MaxDegree reports Δ.
+func (t *Tree) MaxDegree() int { return t.t.MaxDegree() }
+
+// String summarizes the tree.
+func (t *Tree) String() string { return t.t.String() }
+
+// Algorithm selects the exploration algorithm for Explore.
+type Algorithm int
+
+// The exploration algorithms.
+const (
+	// BFDN is the paper's Breadth-First Depth-Next (Algorithm 1).
+	BFDN Algorithm = iota + 1
+	// BFDNRecursive is BFDN_ℓ (§5); set Ell via WithEll (default 2).
+	BFDNRecursive
+	// CTE is the Collective Tree Exploration baseline of Fraigniaud et al.
+	CTE
+	// DFS is single-robot online depth-first search (robots beyond the
+	// first stay at the root).
+	DFS
+	// Levelwise is the phase-synchronized algorithm of the paper's open-
+	// directions discussion ([13]): O(D²) rounds once k ≥ n/D.
+	Levelwise
+)
+
+type config struct {
+	alg      Algorithm
+	ell      int
+	policy   core.Policy
+	shortcut bool
+	schedule adversary.Schedule
+	seed     int64
+}
+
+// Option configures Explore.
+type Option func(*config)
+
+// WithAlgorithm selects the algorithm (default BFDN).
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.alg = a } }
+
+// WithEll sets ℓ for BFDNRecursive (default 2).
+func WithEll(ell int) Option { return func(c *config) { c.ell = ell } }
+
+// WithShortcutReanchor enables BFDN's in-place re-anchoring ablation.
+func WithShortcutReanchor() Option { return func(c *config) { c.shortcut = true } }
+
+// Schedule decides, per round and robot, whether the robot may move (§4.2).
+type Schedule interface {
+	Allowed(round, robot int) bool
+}
+
+// WithBreakdowns runs BFDN under the adversarial break-down schedule; the
+// run stops when all edges are explored (robots need not return).
+func WithBreakdowns(s Schedule) Option { return func(c *config) { c.schedule = s } }
+
+// BernoulliSchedule blocks each robot independently with probability 1−p
+// each round, deterministically per seed.
+func BernoulliSchedule(p float64, k int, seed int64) Schedule {
+	return &adversary.Bernoulli{P: p, K: k, Seed: seed}
+}
+
+// Report summarizes an exploration run.
+type Report struct {
+	// Rounds is the number of synchronous rounds with at least one move —
+	// the paper's runtime T.
+	Rounds int `json:"rounds"`
+	// Moves counts edge traversals over all robots.
+	Moves int64 `json:"moves"`
+	// EdgeExplorations counts first traversals of unknown edges (n−1).
+	EdgeExplorations int `json:"edgeExplorations"`
+	// Bound is the algorithm's applicable guarantee at these parameters
+	// (Theorem 1 for BFDN, Theorem 10 for BFDN_ℓ, 2(n−1) for DFS; 0 when no
+	// closed form applies).
+	Bound float64 `json:"bound"`
+	// OfflineLowerBound is max{2n/k, 2D}, what an offline optimum needs.
+	OfflineLowerBound float64 `json:"offlineLowerBound"`
+	// FullyExplored and AllAtRoot report the termination state.
+	FullyExplored bool `json:"fullyExplored"`
+	AllAtRoot     bool `json:"allAtRoot"`
+}
+
+// Explore runs a collaborative exploration of t with k robots and returns
+// the run report.
+func Explore(t *Tree, k int, opts ...Option) (*Report, error) {
+	cfg := config{alg: BFDN, ell: 2, policy: core.LeastLoaded}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.schedule != nil {
+		return exploreWithBreakdowns(t, k, cfg)
+	}
+	var alg sim.Algorithm
+	var bound float64
+	switch cfg.alg {
+	case BFDN:
+		var coreOpts []core.Option
+		if cfg.shortcut {
+			coreOpts = append(coreOpts, core.WithShortcutReanchor())
+		}
+		alg = core.NewAlgorithm(k, coreOpts...)
+		bound = bounds.Theorem1(t.N(), t.Depth(), k, t.MaxDegree())
+	case BFDNRecursive:
+		a, err := recursive.NewBFDNL(k, cfg.ell)
+		if err != nil {
+			return nil, err
+		}
+		alg = a
+		bound = bounds.Theorem10(t.N(), t.Depth(), k, t.MaxDegree(), cfg.ell)
+	case CTE:
+		alg = cte.New(k)
+	case DFS:
+		alg = offline.DFS{}
+		bound = float64(2 * (t.N() - 1))
+	case Levelwise:
+		alg = levelwise.New(k)
+		bound = levelwise.Bound(t.N(), t.Depth(), k)
+	default:
+		return nil, fmt.Errorf("bfdn: unknown algorithm %d", cfg.alg)
+	}
+	w, err := sim.NewWorld(t.t, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(w, alg, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Rounds:            res.Rounds,
+		Moves:             res.Moves,
+		EdgeExplorations:  res.EdgeExplorations,
+		Bound:             bound,
+		OfflineLowerBound: bounds.OfflineLB(t.N(), t.Depth(), k),
+		FullyExplored:     res.FullyExplored,
+		AllAtRoot:         res.AllAtRoot,
+	}, nil
+}
+
+type scheduleAdapter struct{ s Schedule }
+
+func (a scheduleAdapter) Allowed(round, robot int) bool { return a.s.Allowed(round, robot) }
+
+func exploreWithBreakdowns(t *Tree, k int, cfg config) (*Report, error) {
+	if cfg.alg != BFDN {
+		return nil, fmt.Errorf("bfdn: break-down schedules require the BFDN algorithm")
+	}
+	w, err := sim.NewWorld(t.t, k)
+	if err != nil {
+		return nil, err
+	}
+	a := adversary.New(k, scheduleAdapter{cfg.schedule})
+	res, err := adversary.RunUntilExplored(w, a, 100_000_000)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Rounds:            res.Rounds,
+		Moves:             res.Moves,
+		EdgeExplorations:  res.EdgeExplorations,
+		Bound:             adversary.Proposition7Bound(t.N(), t.Depth(), k),
+		OfflineLowerBound: bounds.OfflineLB(t.N(), t.Depth(), k),
+		FullyExplored:     res.FullyExplored,
+		AllAtRoot:         w.AllAtRoot(),
+	}, nil
+}
+
+// WriteReadReport extends Report with the §4.1 model's resource accounting.
+type WriteReadReport struct {
+	Rounds             int     `json:"rounds"`
+	Moves              int64   `json:"moves"`
+	MaxRobotMemoryBits int     `json:"maxRobotMemoryBits"`
+	MemoryBudgetBits   int     `json:"memoryBudgetBits"`
+	PlannerReads       int     `json:"plannerReads"`
+	Bound              float64 `json:"bound"`
+	FullyExplored      bool    `json:"fullyExplored"`
+	AllAtRoot          bool    `json:"allAtRoot"`
+}
+
+// ExploreWriteRead runs the distributed BFDN of §4.1: robots communicate
+// with the central planner only at the root and carry Δ + D·log₂Δ bits.
+func ExploreWriteRead(t *Tree, k int) (*WriteReadReport, error) {
+	e, err := writeread.NewEngine(t.t, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		return nil, err
+	}
+	return &WriteReadReport{
+		Rounds:             res.Rounds,
+		Moves:              res.Moves,
+		MaxRobotMemoryBits: res.MaxRobotMemoryBits,
+		MemoryBudgetBits:   e.MemoryModelBits(),
+		PlannerReads:       res.PlannerReads,
+		Bound:              bounds.Theorem1(t.N(), t.Depth(), k, t.MaxDegree()),
+		FullyExplored:      res.FullyExplored,
+		AllAtRoot:          res.AllAtRoot,
+	}, nil
+}
+
+// Rect is an axis-aligned obstacle [X0,X1)×[Y0,Y1) for grid graphs.
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Grid is a width×height grid graph with rectangular obstacles (§4.3); the
+// origin cell (0,0) must be free, and cells unreachable from it are dropped.
+type Grid struct {
+	g *graph.Grid
+}
+
+// NewGrid builds a grid-graph exploration target.
+func NewGrid(width, height int, obstacles []Rect) (*Grid, error) {
+	rects := make([]graph.Rect, len(obstacles))
+	for i, r := range obstacles {
+		rects[i] = graph.Rect{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: r.Y1}
+	}
+	g, err := graph.NewGrid(width, height, rects)
+	if err != nil {
+		return nil, err
+	}
+	return &Grid{g: g}, nil
+}
+
+// Nodes reports the number of free, reachable cells.
+func (g *Grid) Nodes() int { return g.g.G.N() }
+
+// Edges reports the number of edges between free cells.
+func (g *Grid) Edges() int { return g.g.G.M() }
+
+// Eccentricity reports the largest distance from the origin.
+func (g *Grid) Eccentricity() int { return g.g.G.Eccentricity() }
+
+// GridReport summarizes a grid exploration run.
+type GridReport struct {
+	Rounds      int     `json:"rounds"`
+	Moves       int64   `json:"moves"`
+	TreeEdges   int     `json:"treeEdges"`
+	ClosedEdges int     `json:"closedEdges"`
+	Bound       float64 `json:"bound"`
+	Complete    bool    `json:"complete"`
+}
+
+// ExploreGrid runs the §4.3 graph variant of BFDN on the grid with k
+// robots: every edge is traversed; edges violating the distance-increase
+// rule are closed, the survivors form a BFS tree.
+func ExploreGrid(g *Grid, k int) (*GridReport, error) {
+	e, err := graph.NewExplorer(g.g.G, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		return nil, err
+	}
+	return &GridReport{
+		Rounds:      res.Rounds,
+		Moves:       res.Moves,
+		TreeEdges:   res.TreeEdges,
+		ClosedEdges: res.ClosedEdges,
+		Bound:       bounds.Proposition9(g.g.G.M(), g.g.G.Eccentricity(), k, g.g.G.MaxDegree()),
+		Complete:    res.AllEdgesVisited && res.AllAtOrigin,
+	}, nil
+}
+
+// AsyncReport summarizes a continuous-time exploration run (Remark 8).
+type AsyncReport struct {
+	// Makespan is the instant the last robot returns to the root.
+	Makespan float64 `json:"makespan"`
+	// WorkDist[i] counts the edges robot i traversed.
+	WorkDist []float64 `json:"workDist"`
+	// Floor is the continuous-time offline bound max{2(n−1)/Σsᵢ, 2D/max sᵢ}.
+	Floor         float64 `json:"floor"`
+	FullyExplored bool    `json:"fullyExplored"`
+	AllAtRoot     bool    `json:"allAtRoot"`
+}
+
+// ExploreAsync runs the continuous-time relaxation of the model suggested
+// by Remark 8: robots with heterogeneous speeds (speeds[i] edges per time
+// unit), event-driven decisions, persistent dangling-edge claims.
+func ExploreAsync(t *Tree, speeds []float64) (*AsyncReport, error) {
+	e, err := async.NewEngine(t.t, speeds)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncReport{
+		Makespan:      res.Makespan,
+		WorkDist:      res.WorkDist,
+		Floor:         async.LowerBound(t.N(), t.Depth(), speeds),
+		FullyExplored: res.FullyExplored,
+		AllAtRoot:     res.AllAtRoot,
+	}, nil
+}
+
+// UrnsGameResult reports a play of the §3 balls-in-urns game.
+type UrnsGameResult struct {
+	Steps int     `json:"steps"`
+	Bound float64 `json:"bound"`
+}
+
+// PlayUrnsGame plays the balls-in-urns game with k urns and threshold delta:
+// the least-loaded player (the paper's strategy) against the optimal
+// adversary derived in the proof of Theorem 3.
+func PlayUrnsGame(k, delta int) (*UrnsGameResult, error) {
+	b, err := urns.NewBoard(k, delta)
+	if err != nil {
+		return nil, err
+	}
+	res, err := urns.Play(b, urns.LeastLoadedPlayer{}, urns.StrategicAdversary{}, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	return &UrnsGameResult{Steps: res.Steps, Bound: urns.Theorem3Bound(k, delta)}, nil
+}
+
+// AllocationResult reports the §3 worker-reassignment interpretation.
+type AllocationResult struct {
+	Makespan      int     `json:"makespan"`
+	Reassignments int     `json:"reassignments"`
+	Bound         float64 `json:"bound"`
+}
+
+// AllocateWorkers schedules k workers on k parallelizable tasks of the given
+// (unknown-to-the-scheduler) lengths with the least-crowded reassignment
+// rule; reassignments stay below k·log k + 2k whatever the lengths.
+func AllocateWorkers(lengths []int) (*AllocationResult, error) {
+	res, err := urns.Allocate(lengths)
+	if err != nil {
+		return nil, err
+	}
+	return &AllocationResult{
+		Makespan:      res.Makespan,
+		Reassignments: res.Reassignments,
+		Bound:         urns.AllocateBound(len(lengths)),
+	}, nil
+}
+
+// Theorem1Bound evaluates the BFDN guarantee 2n/k + D²(min{log k, log Δ}+3).
+func Theorem1Bound(n, depth, k, maxDeg int) float64 {
+	return bounds.Theorem1(n, depth, k, maxDeg)
+}
+
+// Theorem10Bound evaluates the BFDN_ℓ guarantee of §5.
+func Theorem10Bound(n, depth, k, maxDeg, ell int) float64 {
+	return bounds.Theorem10(n, depth, k, maxDeg, ell)
+}
+
+// OfflineLowerBound evaluates max{2n/k, 2D}.
+func OfflineLowerBound(n, depth, k int) float64 {
+	return bounds.OfflineLB(n, depth, k)
+}
+
+// Figure1Map renders the paper's Figure 1 — which algorithm has the best
+// guarantee across the (n, D) plane for k robots — as ASCII art over the
+// given log₂ ranges.
+func Figure1Map(k int, log2nMin, log2nMax, log2dMin, log2dMax float64, cols, rows int) string {
+	return bounds.NewRegionMap(k, log2nMin, log2nMax, log2dMin, log2dMax, cols, rows).Render()
+}

@@ -1,0 +1,223 @@
+package bfdn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreDefaultBFDN(t *testing.T) {
+	tr, err := GenerateTree(FamilyRandom, 2000, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullyExplored || !rep.AllAtRoot {
+		t.Fatalf("incomplete: %+v", rep)
+	}
+	if float64(rep.Rounds) > rep.Bound {
+		t.Errorf("rounds %d exceed bound %.1f", rep.Rounds, rep.Bound)
+	}
+	if float64(rep.Rounds) < rep.OfflineLowerBound-1 {
+		t.Errorf("rounds %d below offline lower bound %.1f", rep.Rounds, rep.OfflineLowerBound)
+	}
+	if rep.EdgeExplorations != tr.N()-1 {
+		t.Errorf("explorations = %d, want %d", rep.EdgeExplorations, tr.N()-1)
+	}
+}
+
+func TestExploreAllAlgorithms(t *testing.T) {
+	tr, err := GenerateTree(FamilyRandom, 500, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{BFDN, BFDNRecursive, CTE, DFS} {
+		rep, err := Explore(tr, 9, WithAlgorithm(alg))
+		if err != nil {
+			t.Fatalf("alg %d: %v", alg, err)
+		}
+		if !rep.FullyExplored {
+			t.Errorf("alg %d: incomplete", alg)
+		}
+	}
+	if _, err := Explore(tr, 4, WithAlgorithm(Algorithm(99))); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestExploreRecursiveEll(t *testing.T) {
+	tr, err := GenerateTree(FamilySpider, 800, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ell := range []int{1, 2, 3} {
+		rep, err := Explore(tr, 27, WithAlgorithm(BFDNRecursive), WithEll(ell))
+		if err != nil {
+			t.Fatalf("ℓ=%d: %v", ell, err)
+		}
+		if float64(rep.Rounds) > rep.Bound {
+			t.Errorf("ℓ=%d: rounds %d exceed Theorem 10 bound %.1f", ell, rep.Rounds, rep.Bound)
+		}
+	}
+}
+
+func TestExploreShortcutOption(t *testing.T) {
+	tr, err := GenerateTree(FamilySpider, 600, 25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(tr, 6, WithShortcutReanchor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullyExplored {
+		t.Error("incomplete with shortcut")
+	}
+}
+
+func TestExploreWithBreakdowns(t *testing.T) {
+	tr, err := GenerateTree(FamilyRandom, 300, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 6
+	rep, err := Explore(tr, k, WithBreakdowns(BernoulliSchedule(0.5, k, 11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullyExplored {
+		t.Error("breakdown run incomplete")
+	}
+	if _, err := Explore(tr, k, WithBreakdowns(BernoulliSchedule(0.5, k, 11)), WithAlgorithm(CTE)); err == nil {
+		t.Error("breakdowns with CTE accepted")
+	}
+}
+
+func TestNewTree(t *testing.T) {
+	tr, err := NewTree([]int32{-1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 4 || tr.Depth() != 2 || tr.MaxDegree() != 2 {
+		t.Errorf("tree = %s", tr)
+	}
+	if _, err := NewTree([]int32{0}); err == nil {
+		t.Error("invalid parents accepted")
+	}
+}
+
+func TestGenerateTreeFamilies(t *testing.T) {
+	for _, f := range Families() {
+		tr, err := GenerateTree(f, 120, 8, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if tr.N() < 2 {
+			t.Errorf("%s: trivial tree", f)
+		}
+	}
+	if _, err := GenerateTree(Family("bogus"), 10, 2, 1); err == nil {
+		t.Error("bogus family accepted")
+	}
+}
+
+func TestExploreWriteRead(t *testing.T) {
+	tr, err := GenerateTree(FamilyRandom, 400, 14, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ExploreWriteRead(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullyExplored || !rep.AllAtRoot {
+		t.Fatal("incomplete")
+	}
+	if float64(rep.Rounds) > rep.Bound {
+		t.Errorf("rounds %d exceed bound %.1f", rep.Rounds, rep.Bound)
+	}
+	if rep.MaxRobotMemoryBits > rep.MemoryBudgetBits {
+		t.Errorf("memory %d over budget %d", rep.MaxRobotMemoryBits, rep.MemoryBudgetBits)
+	}
+}
+
+func TestExploreGrid(t *testing.T) {
+	g, err := NewGrid(12, 9, []Rect{{X0: 3, Y0: 2, X1: 6, Y1: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ExploreGrid(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatal("grid incomplete")
+	}
+	if rep.TreeEdges != g.Nodes()-1 {
+		t.Errorf("tree edges = %d, want %d", rep.TreeEdges, g.Nodes()-1)
+	}
+	if rep.TreeEdges+rep.ClosedEdges != g.Edges() {
+		t.Errorf("edge accounting: %d+%d != %d", rep.TreeEdges, rep.ClosedEdges, g.Edges())
+	}
+	if float64(rep.Rounds) > rep.Bound {
+		t.Errorf("rounds %d exceed Prop 9 bound %.1f", rep.Rounds, rep.Bound)
+	}
+	if _, err := NewGrid(0, 5, nil); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestPlayUrnsGame(t *testing.T) {
+	res, err := PlayUrnsGame(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Steps) > res.Bound {
+		t.Errorf("steps %d exceed bound %.1f", res.Steps, res.Bound)
+	}
+	if res.Steps < 64 {
+		t.Errorf("optimal adversary lasted only %d steps", res.Steps)
+	}
+	if _, err := PlayUrnsGame(0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestAllocateWorkers(t *testing.T) {
+	res, err := AllocateWorkers([]int{100, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Reassignments) > res.Bound {
+		t.Errorf("reassignments %d exceed bound %.1f", res.Reassignments, res.Bound)
+	}
+	if res.Makespan >= 100 {
+		t.Errorf("makespan %d: no speedup from reassignment", res.Makespan)
+	}
+	if _, err := AllocateWorkers(nil); err == nil {
+		t.Error("empty task list accepted")
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	if Theorem1Bound(1000, 10, 8, 5) <= 0 {
+		t.Error("Theorem1Bound not positive")
+	}
+	if Theorem10Bound(1000, 10, 8, 5, 2) <= 0 {
+		t.Error("Theorem10Bound not positive")
+	}
+	if OfflineLowerBound(1000, 10, 8) != 2*999.0/8 {
+		t.Error("OfflineLowerBound wrong")
+	}
+}
+
+func TestFigure1Map(t *testing.T) {
+	m := Figure1Map(32, 4, 60, 1, 30, 64, 20)
+	for _, sym := range []string{"B", "C", "L", "legend"} {
+		if !strings.Contains(m, sym) {
+			t.Errorf("map missing %q", sym)
+		}
+	}
+}

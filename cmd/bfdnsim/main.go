@@ -1,0 +1,140 @@
+// Command bfdnsim runs one collaborative-exploration simulation and prints
+// the run report against the applicable guarantee.
+//
+// Usage:
+//
+//	bfdnsim -family random -n 10000 -d 40 -k 16 -algo bfdn
+//	bfdnsim -family spider -n 2000 -d 200 -k 27 -algo bfdnl -ell 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"bfdn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bfdnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		family   = flag.String("family", "random", "tree family (path star binary ternary spider comb caterpillar broom random randbinary uneven)")
+		n        = flag.Int("n", 10000, "approximate number of nodes")
+		d        = flag.Int("d", 40, "target depth")
+		k        = flag.Int("k", 16, "number of robots")
+		algo     = flag.String("algo", "bfdn", "algorithm: bfdn | bfdnl | cte | dfs | levelwise")
+		ell      = flag.Int("ell", 2, "recursion parameter for bfdnl")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		shortcut = flag.Bool("shortcut", false, "BFDN: re-anchor in place instead of via the root")
+		pBlock   = flag.Float64("breakdown", 0, "adversarial break-downs: allow each robot to move with this probability (0 = off)")
+		compare  = flag.Bool("compare", false, "run every algorithm on the workload and print a comparison")
+		showTrc  = flag.Bool("trace", false, "record the run and print the exploration progress curve")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	t, err := bfdn.GenerateTree(bfdn.Family(*family), *n, *d, *seed)
+	if err != nil {
+		return err
+	}
+	if *compare {
+		return runCompare(t, *k, *ell)
+	}
+	opts := []bfdn.Option{}
+	switch *algo {
+	case "bfdn":
+		opts = append(opts, bfdn.WithAlgorithm(bfdn.BFDN))
+	case "bfdnl":
+		opts = append(opts, bfdn.WithAlgorithm(bfdn.BFDNRecursive), bfdn.WithEll(*ell))
+	case "cte":
+		opts = append(opts, bfdn.WithAlgorithm(bfdn.CTE))
+	case "dfs":
+		opts = append(opts, bfdn.WithAlgorithm(bfdn.DFS))
+	case "levelwise":
+		opts = append(opts, bfdn.WithAlgorithm(bfdn.Levelwise))
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if *shortcut {
+		opts = append(opts, bfdn.WithShortcutReanchor())
+	}
+	if *pBlock > 0 {
+		opts = append(opts, bfdn.WithBreakdowns(bfdn.BernoulliSchedule(*pBlock, *k, *seed)))
+	}
+	var rep *bfdn.Report
+	if *showTrc && *pBlock == 0 {
+		var trc *bfdn.Trace
+		every := rep0every(*n)
+		rep, trc, err = bfdn.ExploreTraced(t, *k, every, opts...)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			fmt.Printf("progress  %s (1 → %d nodes)\n", trc.ProgressSparkline(60), t.N())
+		}()
+	} else {
+		rep, err = bfdn.Explore(t, *k, opts...)
+		if err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("tree      %s (family %s)\n", t, *family)
+	fmt.Printf("robots    k = %d, algorithm %s\n", *k, *algo)
+	fmt.Printf("rounds    %d\n", rep.Rounds)
+	if rep.Bound > 0 {
+		fmt.Printf("guarantee %.1f (%.0f%% used)\n", rep.Bound, 100*float64(rep.Rounds)/rep.Bound)
+	}
+	fmt.Printf("offline   ≥ %.1f rounds\n", rep.OfflineLowerBound)
+	fmt.Printf("moves     %d total, %d first-time edge explorations\n", rep.Moves, rep.EdgeExplorations)
+	fmt.Printf("complete  explored=%v home=%v\n", rep.FullyExplored, rep.AllAtRoot)
+	return nil
+}
+
+// rep0every picks a trace sampling rate that keeps memory modest.
+func rep0every(n int) int {
+	if n <= 5000 {
+		return 1
+	}
+	return n / 5000
+}
+
+// runCompare runs every algorithm on the same workload.
+func runCompare(t *bfdn.Tree, k, ell int) error {
+	fmt.Printf("tree %s, k = %d\n\n", t, k)
+	fmt.Printf("%-12s %10s %12s %10s\n", "algorithm", "rounds", "bound", "moves")
+	rows := []struct {
+		name string
+		opts []bfdn.Option
+	}{
+		{"bfdn", []bfdn.Option{bfdn.WithAlgorithm(bfdn.BFDN)}},
+		{fmt.Sprintf("bfdnl(ℓ=%d)", ell), []bfdn.Option{bfdn.WithAlgorithm(bfdn.BFDNRecursive), bfdn.WithEll(ell)}},
+		{"cte", []bfdn.Option{bfdn.WithAlgorithm(bfdn.CTE)}},
+		{"levelwise", []bfdn.Option{bfdn.WithAlgorithm(bfdn.Levelwise)}},
+		{"dfs(k=1)", []bfdn.Option{bfdn.WithAlgorithm(bfdn.DFS)}},
+	}
+	for _, row := range rows {
+		rep, err := bfdn.Explore(t, k, row.opts...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", row.name, err)
+		}
+		bound := "-"
+		if rep.Bound > 0 {
+			bound = fmt.Sprintf("%.0f", rep.Bound)
+		}
+		fmt.Printf("%-12s %10d %12s %10d\n", row.name, rep.Rounds, bound, rep.Moves)
+	}
+	fmt.Printf("\noffline lower bound: %.0f rounds\n", bfdn.OfflineLowerBound(t.N(), t.Depth(), k))
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command experiments runs the full reproduction suite E1–E11 and the
+// ablations A1–A2 (the experiment index of DESIGN.md) and prints one table
+// per experiment, flagging any violated paper prediction.
+//
+// Usage:
+//
+//	experiments            # CI-sized run
+//	experiments -scale 3   # larger workloads
+//	experiments -csv       # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"bfdn/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale    = flag.Int("scale", 1, "workload scale multiplier")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently")
+	)
+	flag.Parse()
+	if *scale < 1 {
+		return fmt.Errorf("need scale ≥ 1, got %d", *scale)
+	}
+	reports, err := exp.RunAllParallel(exp.Config{Seed: *seed, Scale: *scale}, *parallel)
+	if err != nil {
+		return err
+	}
+	violations := 0
+	for _, r := range reports {
+		fmt.Printf("=== %s — %s ===\n", r.ID, r.Description)
+		if *csv {
+			fmt.Print(r.Table.CSV())
+		} else {
+			fmt.Print(r.Table.Render())
+		}
+		if r.Extra != "" && !*csv {
+			fmt.Println()
+			fmt.Print(r.Extra)
+		}
+		fmt.Printf("predictions: %d checked, %d violated\n", r.Outcome.Checks, r.Outcome.Violations)
+		for _, note := range r.Outcome.Notes {
+			fmt.Println("  VIOLATION:", note)
+		}
+		fmt.Println()
+		violations += r.Outcome.Violations
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d paper predictions violated", violations)
+	}
+	fmt.Println("all paper predictions hold")
+	return nil
+}

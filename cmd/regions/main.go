@@ -1,0 +1,56 @@
+// Command regions renders the paper's Figure 1: the partition of the (n, D)
+// plane by which algorithm — CTE, Yo*, BFDN or BFDN_ℓ — has the best known
+// runtime guarantee for k robots.
+//
+// Usage:
+//
+//	regions -k 32 -cols 100 -rows 34
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bfdn"
+	"bfdn/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "regions:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		k         = flag.Int("k", 32, "number of robots")
+		n0        = flag.Float64("log2n-min", 4, "left edge: log2(n)")
+		n1        = flag.Float64("log2n-max", 60, "right edge: log2(n)")
+		d0        = flag.Float64("log2d-min", 1, "bottom edge: log2(D)")
+		d1        = flag.Float64("log2d-max", 30, "top edge: log2(D)")
+		cols      = flag.Int("cols", 96, "map width in cells")
+		rows      = flag.Int("rows", 32, "map height in cells")
+		empirical = flag.Bool("empirical", false, "also run BFDN/BFDN_2/CTE on generated trees and plot the measured winners (small grid)")
+		maxN      = flag.Int("max-n", 20000, "empirical: cap tree size per cell")
+	)
+	flag.Parse()
+	if *k < 2 {
+		return fmt.Errorf("need k ≥ 2, got %d", *k)
+	}
+	if *cols < 2 || *rows < 2 {
+		return fmt.Errorf("need at least a 2x2 map")
+	}
+	fmt.Printf("Figure 1 — best runtime guarantee per (n, D) region, k = %d\n\n", *k)
+	fmt.Print(bfdn.Figure1Map(*k, *n0, *n1, *d0, *d1, *cols, *rows))
+	if *empirical {
+		fmt.Println()
+		m, err := exp.EmpiricalRegionMap(exp.DefaultConfig(), *k, 24, 10, 14, 9, *maxN)
+		if err != nil {
+			return err
+		}
+		fmt.Print(m)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package bfdn_test
+
+import (
+	"fmt"
+
+	"bfdn"
+)
+
+// The examples below are verified by go test: their output is pinned, which
+// also doubles as a determinism check on the public API.
+
+func ExampleExplore() {
+	t, err := bfdn.GenerateTree(bfdn.FamilyBinary, 1023, 9, 1)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := bfdn.Explore(t, 16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("explored:", rep.FullyExplored, "home:", rep.AllAtRoot)
+	fmt.Println("edges discovered:", rep.EdgeExplorations)
+	fmt.Println("within Theorem 1:", float64(rep.Rounds) <= rep.Bound)
+	// Output:
+	// explored: true home: true
+	// edges discovered: 1022
+	// within Theorem 1: true
+}
+
+func ExampleExplore_recursive() {
+	t, err := bfdn.GenerateTree(bfdn.FamilySpider, 801, 100, 1)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := bfdn.Explore(t, 27, bfdn.WithAlgorithm(bfdn.BFDNRecursive), bfdn.WithEll(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("explored:", rep.FullyExplored)
+	fmt.Println("within Theorem 10:", float64(rep.Rounds) <= rep.Bound)
+	// Output:
+	// explored: true
+	// within Theorem 10: true
+}
+
+func ExamplePlayUrnsGame() {
+	res, err := bfdn.PlayUrnsGame(64, 64)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("steps:", res.Steps)
+	fmt.Println("within Theorem 3:", float64(res.Steps) <= res.Bound)
+	// Output:
+	// steps: 273
+	// within Theorem 3: true
+}
+
+func ExampleAllocateWorkers() {
+	res, err := bfdn.AllocateWorkers([]int{1000, 10, 10, 10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("makespan:", res.Makespan)
+	fmt.Println("reassignments:", res.Reassignments)
+	// Output:
+	// makespan: 258
+	// reassignments: 3
+}
+
+func ExampleExploreGrid() {
+	g, err := bfdn.NewGrid(8, 6, []bfdn.Rect{{X0: 2, Y0: 2, X1: 4, Y1: 4}})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := bfdn.ExploreGrid(g, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cells:", g.Nodes(), "passages:", g.Edges())
+	fmt.Println("BFS tree edges:", rep.TreeEdges, "closed:", rep.ClosedEdges)
+	fmt.Println("complete:", rep.Complete)
+	// Output:
+	// cells: 44 passages: 70
+	// BFS tree edges: 43 closed: 27
+	// complete: true
+}
+
+func ExampleExploreAsync() {
+	t, err := bfdn.GenerateTree(bfdn.FamilyBinary, 511, 8, 1)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := bfdn.ExploreAsync(t, []float64{1, 1, 2, 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("explored:", rep.FullyExplored)
+	fmt.Println("above offline floor:", rep.Makespan >= rep.Floor)
+	// Output:
+	// explored: true
+	// above offline floor: true
+}

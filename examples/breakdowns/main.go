@@ -1,0 +1,41 @@
+// Breakdowns: exploration under adversarial robot failures (§4.2). An
+// adversary freezes arbitrary robots in arbitrary rounds; BFDN still
+// explores the whole tree once the average number of allowed moves per
+// robot reaches 2n/k + D²(log k + 3) (Proposition 7).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfdn"
+)
+
+func main() {
+	t, err := bfdn.GenerateTree(bfdn.FamilyRandom, 4000, 25, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := 12
+	fmt.Printf("tree %s, k=%d robots\n", t, k)
+
+	base, err := bfdn.Explore(t, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("no failures:   %6d rounds\n", base.Rounds)
+
+	for _, p := range []float64{0.9, 0.5, 0.2} {
+		rep, err := bfdn.Explore(t, k,
+			bfdn.WithBreakdowns(bfdn.BernoulliSchedule(p, k, 99)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("p(move)=%.1f:   %6d rounds to visit every edge (budget %.0f per robot)\n",
+			p, rep.Rounds, rep.Bound)
+		if !rep.FullyExplored {
+			log.Fatal("exploration incomplete")
+		}
+	}
+	fmt.Println("the adversary slows the clock, never the move budget")
+}

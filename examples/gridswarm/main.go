@@ -1,0 +1,40 @@
+// Gridswarm: a robot swarm maps a floor plan — a grid with rectangular
+// obstacles (§4.3 of the paper). Every corridor cell and doorway is visited;
+// edges that do not increase the distance to the entrance are closed, and
+// the survivors form a BFS tree of the building.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfdn"
+)
+
+func main() {
+	// A 40×24 "office floor": four room blocks leaving corridors between.
+	obstacles := []bfdn.Rect{
+		{X0: 4, Y0: 3, X1: 14, Y1: 9},
+		{X0: 18, Y0: 3, X1: 28, Y1: 9},
+		{X0: 4, Y0: 13, X1: 14, Y1: 19},
+		{X0: 18, Y0: 13, X1: 36, Y1: 21},
+	}
+	floor, err := bfdn.NewGrid(40, 24, obstacles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("floor plan: %d reachable cells, %d passages, eccentricity %d\n",
+		floor.Nodes(), floor.Edges(), floor.Eccentricity())
+
+	for _, k := range []int{1, 4, 16} {
+		rep, err := bfdn.ExploreGrid(floor, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k=%2d robots: %4d rounds (Prop 9 bound %.0f), BFS tree %d edges, %d closed\n",
+			k, rep.Rounds, rep.Bound, rep.TreeEdges, rep.ClosedEdges)
+		if !rep.Complete {
+			log.Fatal("exploration incomplete")
+		}
+	}
+}

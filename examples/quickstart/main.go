@@ -1,0 +1,40 @@
+// Quickstart: explore an unknown random tree with 16 robots using BFDN and
+// compare the measured runtime with the paper's Theorem 1 guarantee and the
+// offline lower bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfdn"
+)
+
+func main() {
+	// A random tree with ~10k nodes and depth 30, hidden from the robots.
+	t, err := bfdn.GenerateTree(bfdn.FamilyRandom, 10_000, 30, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := bfdn.Explore(t, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("explored %s with k=16 robots\n", t)
+	fmt.Printf("  rounds:            %d\n", rep.Rounds)
+	fmt.Printf("  Theorem 1 bound:   %.0f\n", rep.Bound)
+	fmt.Printf("  offline optimum ≥  %.0f\n", rep.OfflineLowerBound)
+	fmt.Printf("  overhead over 2n/k: %.0f rounds (the O(D² log k) term)\n",
+		float64(rep.Rounds)-2*float64(t.N())/16)
+
+	// More robots help until the D² log k overhead dominates.
+	for _, k := range []int{1, 4, 16, 64, 256} {
+		r, err := bfdn.Explore(t, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%4d -> %6d rounds\n", k, r.Rounds)
+	}
+}

@@ -1,0 +1,55 @@
+// Taskalloc: the §3 resource-allocation interpretation of the balls-in-urns
+// game. A build farm has k workers and k parallelizable jobs of unknown
+// duration; whenever a job finishes, its idle workers are reassigned to the
+// unfinished job with the fewest workers. The paper proves the number of
+// reassignments never exceeds k·log k + 2k — about log k + 2 context
+// switches per worker — no matter how skewed the durations are.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bfdn"
+)
+
+func main() {
+	k := 100
+	rng := rand.New(rand.NewSource(7))
+
+	scenarios := map[string]func(i int) int{
+		"uniform":  func(int) int { return 1 + rng.Intn(600) },
+		"zipf-ish": func(i int) int { return 6000 / (i + 1) },
+		"one giant job": func(i int) int {
+			if i == 0 {
+				return 50_000
+			}
+			return 10
+		},
+	}
+
+	for name, gen := range scenarios {
+		lengths := make([]int, k)
+		total := 0
+		for i := range lengths {
+			lengths[i] = gen(i)
+			total += lengths[i]
+		}
+		res, err := bfdn.AllocateWorkers(lengths)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ideal := (total + k - 1) / k
+		fmt.Printf("%-14s makespan %6d (ideal %6d), reassignments %4d / bound %.0f\n",
+			name, res.Makespan, ideal, res.Reassignments, res.Bound)
+	}
+
+	// The underlying two-player game, played against the optimal adversary.
+	game, err := bfdn.PlayUrnsGame(k, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nraw urns game (k=%d): %d steps vs Theorem 3 bound %.0f\n",
+		k, game.Steps, game.Bound)
+}

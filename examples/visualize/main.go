@@ -1,0 +1,36 @@
+// Visualize: record a BFDN run on a small tree and replay it — an ASCII
+// animation of the robots fanning out of the root, plus the exploration
+// progress curve. Handy for building intuition about the breadth-first
+// anchoring and depth-next excursions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfdn"
+)
+
+func main() {
+	// A small comb: a spine with teeth, deep enough to watch anchors move.
+	t, err := bfdn.GenerateTree(bfdn.FamilyComb, 24, 6, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, tr, err := bfdn.ExploreTraced(t, 3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BFDN on %s with k=3: %d rounds\n\n", t, rep.Rounds)
+
+	// Show a handful of evenly spaced frames.
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75} {
+		i := int(frac * float64(tr.Frames()-1))
+		fmt.Printf("--- round %d: %d/%d nodes explored, robot depths %v\n",
+			tr.FrameRound(i), tr.FrameExplored(i), t.N(), tr.RobotDepths(i))
+		fmt.Print(tr.RenderFrame(i))
+		fmt.Println()
+	}
+	fmt.Printf("exploration progress: %s (1 → %d nodes)\n",
+		tr.ProgressSparkline(48), t.N())
+}

@@ -1,0 +1,3 @@
+module bfdn
+
+go 1.22

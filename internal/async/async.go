@@ -1,0 +1,262 @@
+// Package async implements the continuous-time relaxation of the model that
+// Remark 8 of the paper puts forward ("another extension of interest would
+// consist in relaxing the slotted time assumption to consider instead
+// continuous time evolution, which could capture more realistic
+// scenarios"): robots have heterogeneous speeds, edge traversals take
+// 1/speed time units, and decisions happen at arrival instants rather than
+// in synchronized rounds.
+//
+// The algorithm is the natural asynchronous BFDN: a robot arriving at the
+// root is anchored at the open node of minimal depth with the least load
+// and walks there; at and below its anchor it performs depth-next moves,
+// where "unselected" becomes a persistent claim — a dangling edge is
+// claimed at decision time, so no two robots ever chase the same edge.
+// Idle robots parked at the root are woken the instant new open work
+// appears.
+package async
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"bfdn/internal/tree"
+)
+
+// Engine is the event-driven simulator running asynchronous BFDN.
+type Engine struct {
+	t      *tree.Tree
+	speeds []float64
+
+	explored []bool
+	// claimed[v] counts dangling edges of v already claimed; claims are
+	// handed out in port order, so Children(v)[claimed[v]] is next.
+	claimed []int32
+	opens   *openIndex
+
+	pos      []tree.NodeID
+	robots   []aRobot
+	idle     []int // robots parked at the root awaiting work
+	workWoke bool  // new open work appeared during the current event
+
+	events   eventHeap
+	seq      int64
+	now      float64
+	explCnt  int
+	workDist []float64
+}
+
+type aRobot struct {
+	anchor      tree.NodeID
+	anchorDepth int
+	stack       []tree.NodeID
+	// pendingChild is the hidden endpoint of a claimed dangling edge the
+	// robot is currently crossing (Nil otherwise).
+	pendingChild tree.NodeID
+}
+
+type event struct {
+	at    float64
+	robot int
+	seq   int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewEngine creates an asynchronous exploration of t; speeds[i] > 0 is the
+// edge-traversal rate of robot i.
+func NewEngine(t *tree.Tree, speeds []float64) (*Engine, error) {
+	if len(speeds) == 0 {
+		return nil, fmt.Errorf("async: need at least one robot")
+	}
+	for i, s := range speeds {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("async: robot %d has invalid speed %v", i, s)
+		}
+	}
+	e := &Engine{
+		t:        t,
+		speeds:   append([]float64(nil), speeds...),
+		explored: make([]bool, t.N()),
+		claimed:  make([]int32, t.N()),
+		opens:    newOpenIndex(),
+		pos:      make([]tree.NodeID, len(speeds)),
+		robots:   make([]aRobot, len(speeds)),
+		explCnt:  1,
+		workDist: make([]float64, len(speeds)),
+	}
+	e.explored[tree.Root] = true
+	for i := range e.robots {
+		e.robots[i].pendingChild = tree.Nil
+		e.robots[i].anchor = tree.Root
+		e.opens.changeLoad(tree.Root, 0, 1)
+	}
+	if t.NumChildren(tree.Root) > 0 {
+		e.opens.add(tree.Root, 0)
+	}
+	return e, nil
+}
+
+// Result summarizes an asynchronous run.
+type Result struct {
+	// Makespan is the instant the last robot finishes its final move.
+	Makespan float64
+	// WorkDist[i] counts edges traversed by robot i.
+	WorkDist []float64
+	// FullyExplored and AllAtRoot describe the terminal state.
+	FullyExplored bool
+	AllAtRoot     bool
+}
+
+// Run executes the event loop to completion. maxEvents ≤ 0 selects a
+// generous cap far above any legal run.
+func (e *Engine) Run(maxEvents int64) (Result, error) {
+	if maxEvents <= 0 {
+		maxEvents = 64*int64(e.t.N())*int64(e.t.Depth()+2) + 64
+	}
+	for i := range e.robots {
+		e.push(0, i)
+	}
+	for n := int64(0); len(e.events) > 0; n++ {
+		if n >= maxEvents {
+			return Result{}, fmt.Errorf("async: event budget exhausted (%d)", maxEvents)
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		i := ev.robot
+		e.arrive(i)
+		if next, travels := e.decide(i); travels {
+			e.pos[i] = next
+			e.workDist[i]++
+			e.push(e.now+1/e.speeds[i], i)
+		} else {
+			e.idle = append(e.idle, i)
+		}
+		// New open work discovered during this event wakes parked robots at
+		// the same instant; seq ordering keeps the run deterministic.
+		if e.workWoke && len(e.idle) > 0 {
+			woken := e.idle
+			e.idle = nil
+			sort.Ints(woken)
+			for _, w := range woken {
+				e.push(e.now, w)
+			}
+		}
+		e.workWoke = false
+	}
+	res := Result{
+		Makespan:      e.now,
+		WorkDist:      append([]float64(nil), e.workDist...),
+		FullyExplored: e.explCnt == e.t.N(),
+		AllAtRoot:     true,
+	}
+	for _, p := range e.pos {
+		if p != tree.Root {
+			res.AllAtRoot = false
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) push(at float64, robot int) {
+	heap.Push(&e.events, event{at: at, robot: robot, seq: e.seq})
+	e.seq++
+}
+
+// arrive finalizes a pending dangling-edge crossing: the hidden child
+// becomes explored and, if it has children of its own, open.
+func (e *Engine) arrive(i int) {
+	r := &e.robots[i]
+	if r.pendingChild == tree.Nil {
+		return
+	}
+	c := r.pendingChild
+	r.pendingChild = tree.Nil
+	e.explored[c] = true
+	e.explCnt++
+	if e.t.NumChildren(c) > 0 {
+		e.opens.add(c, e.t.DepthOf(c))
+		e.workWoke = true
+	}
+}
+
+// decide picks the robot's next edge; travels=false parks it at the root.
+func (e *Engine) decide(i int) (tree.NodeID, bool) {
+	r := &e.robots[i]
+	pos := e.pos[i]
+	if pos == tree.Root && len(r.stack) == 0 {
+		e.reanchor(i)
+	}
+	if len(r.stack) > 0 {
+		next := r.stack[len(r.stack)-1]
+		r.stack = r.stack[:len(r.stack)-1]
+		return next, true
+	}
+	// Depth-next with a persistent claim.
+	if int(e.claimed[pos]) < e.t.NumChildren(pos) {
+		child := e.t.Children(pos)[e.claimed[pos]]
+		e.claimed[pos]++
+		if int(e.claimed[pos]) == e.t.NumChildren(pos) {
+			e.opens.remove(pos, e.t.DepthOf(pos))
+		}
+		r.pendingChild = child
+		return child, true
+	}
+	if pos != tree.Root {
+		return e.t.Parent(pos), true
+	}
+	return tree.Root, false
+}
+
+// reanchor assigns the least-loaded open node of minimal depth (the BFDN
+// Reanchor rule), or parks the robot at the root when nothing is open.
+func (e *Engine) reanchor(i int) {
+	r := &e.robots[i]
+	e.opens.changeLoad(r.anchor, r.anchorDepth, -1)
+	anchor, depth := tree.Root, 0
+	if a, d, ok := e.opens.minLoadAtMinDepth(); ok {
+		anchor, depth = a, d
+	}
+	r.anchor, r.anchorDepth = anchor, depth
+	e.opens.changeLoad(anchor, depth, 1)
+	r.stack = r.stack[:0]
+	for u := anchor; u != tree.Root; u = e.t.Parent(u) {
+		r.stack = append(r.stack, u)
+	}
+}
+
+// LowerBound is the offline floor in continuous time: every edge crossed
+// twice by the fleet working at aggregate speed Σsᵢ, and some robot must
+// reach depth D and return at its own speed.
+func LowerBound(n, depth int, speeds []float64) float64 {
+	var total, fastest float64
+	for _, s := range speeds {
+		total += s
+		if s > fastest {
+			fastest = s
+		}
+	}
+	lb := 2 * float64(n-1) / total
+	if d := 2 * float64(depth) / fastest; d > lb {
+		lb = d
+	}
+	return lb
+}

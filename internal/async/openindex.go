@@ -1,0 +1,101 @@
+package async
+
+import (
+	"container/heap"
+
+	"bfdn/internal/tree"
+)
+
+// openIndex mirrors core's anchor index for the asynchronous engine: open
+// nodes bucketed by depth with lazy min-load heaps; the minimal open depth
+// is non-decreasing here too (claims only open strictly deeper nodes).
+type openIndex struct {
+	buckets  []oBucket
+	minDepth int
+	loads    map[tree.NodeID]int32
+	open     map[tree.NodeID]bool
+}
+
+type oBucket struct {
+	heap oHeap
+	size int
+}
+
+type oEntry struct {
+	node tree.NodeID
+	load int32
+}
+
+type oHeap []oEntry
+
+func (h oHeap) Len() int            { return len(h) }
+func (h oHeap) Less(i, j int) bool  { return h[i].load < h[j].load }
+func (h oHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *oHeap) Push(x interface{}) { *h = append(*h, x.(oEntry)) }
+func (h *oHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func newOpenIndex() *openIndex {
+	return &openIndex{
+		loads: make(map[tree.NodeID]int32),
+		open:  make(map[tree.NodeID]bool),
+	}
+}
+
+func (a *openIndex) bucket(d int) *oBucket {
+	for d >= len(a.buckets) {
+		a.buckets = append(a.buckets, oBucket{})
+	}
+	return &a.buckets[d]
+}
+
+func (a *openIndex) add(v tree.NodeID, d int) {
+	if a.open[v] {
+		return
+	}
+	a.open[v] = true
+	b := a.bucket(d)
+	b.size++
+	heap.Push(&b.heap, oEntry{node: v, load: a.loads[v]})
+}
+
+func (a *openIndex) remove(v tree.NodeID, d int) {
+	if !a.open[v] {
+		return
+	}
+	delete(a.open, v)
+	a.buckets[d].size--
+}
+
+func (a *openIndex) changeLoad(v tree.NodeID, d, delta int) {
+	a.loads[v] += int32(delta)
+	if a.open[v] {
+		b := a.bucket(d)
+		heap.Push(&b.heap, oEntry{node: v, load: a.loads[v]})
+	}
+}
+
+// minLoadAtMinDepth returns the least-loaded open node at the minimal open
+// depth.
+func (a *openIndex) minLoadAtMinDepth() (tree.NodeID, int, bool) {
+	for a.minDepth < len(a.buckets) && a.buckets[a.minDepth].size == 0 {
+		a.minDepth++
+	}
+	if a.minDepth >= len(a.buckets) {
+		return 0, 0, false
+	}
+	b := &a.buckets[a.minDepth]
+	for {
+		e := b.heap[0]
+		if !a.open[e.node] || e.load != a.loads[e.node] {
+			heap.Pop(&b.heap)
+			continue
+		}
+		return e.node, a.minDepth, true
+	}
+}

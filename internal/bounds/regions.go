@@ -1,0 +1,206 @@
+package bounds
+
+import (
+	"math"
+	"strings"
+)
+
+// Winner identifies which algorithm's guarantee is smallest at a point.
+type Winner int
+
+// The algorithms appearing in Figure 1.
+const (
+	WinnerNone Winner = iota
+	WinnerCTE
+	WinnerYoStar
+	WinnerBFDN
+	WinnerBFDNL
+)
+
+// String implements fmt.Stringer.
+func (w Winner) String() string {
+	switch w {
+	case WinnerCTE:
+		return "CTE"
+	case WinnerYoStar:
+		return "Yo*"
+	case WinnerBFDN:
+		return "BFDN"
+	case WinnerBFDNL:
+		return "BFDN_l"
+	default:
+		return "-"
+	}
+}
+
+// Rune is the single-character map symbol.
+func (w Winner) Rune() rune {
+	switch w {
+	case WinnerCTE:
+		return 'C'
+	case WinnerYoStar:
+		return 'Y'
+	case WinnerBFDN:
+		return 'B'
+	case WinnerBFDNL:
+		return 'L'
+	default:
+		return '.'
+	}
+}
+
+// WinnerAt reproduces the Figure 1 partition at (n, D) for k robots, using
+// the Appendix A threshold comparisons (regions are defined up to
+// k-dependent constants, so the comparisons are inequalities between the
+// dominant terms, evaluated in log space to avoid overflow for e^k-scale
+// thresholds). Points with n ≤ D are invalid (no tree exists): WinnerNone.
+func WinnerAt(n, d float64, k int) Winner {
+	if n <= d || n < 2 || d < 1 {
+		return WinnerNone
+	}
+	ln, ld := math.Log(n), math.Log(d)
+	lk := math.Log(float64(k))
+	llk := math.Log(math.Max(lk, 1.0001))
+
+	// Appendix A: BFDN beats CTE iff D²·log²k ≤ n.
+	bfdnBeatsCTE := ln >= 2*ld+2*llk
+
+	// BFDN_ℓ beats CTE iff D ≤ n^{ℓ/(ℓ+1)}/(k·log²k) for some valid ℓ
+	// (ℓ ≤ log k / log log k per the figure's caption).
+	maxEll := 0
+	if llk > 0 {
+		maxEll = int(lk / llk)
+	}
+	bfdnlBeatsCTE := false
+	for ell := 2; ell <= maxEll; ell++ {
+		if ld <= float64(ell)/float64(ell+1)*ln-lk-2*llk {
+			bfdnlBeatsCTE = true
+			break
+		}
+	}
+
+	// Yo* beats CTE in its niche: n ≤ e^k and D ≤ e^{log²k} and
+	// D ≤ (n/log n)·log²k.
+	yoBeatsCTE := ln <= float64(k) && ld <= lk*lk &&
+		ld <= ln-math.Log(math.Max(ln, 1))+2*llk
+
+	// BFDN_ℓ beats BFDN iff n/k^{1/ℓ} < D² (appendix last comparison; we use
+	// the clean D² ≥ n/k side for the BFDN-dominant region).
+	bfdnBeatsBFDNL := ln-lk > 2*ld
+
+	switch {
+	case bfdnBeatsCTE && (bfdnBeatsBFDNL || !bfdnlBeatsCTE):
+		// BFDN region — unless Yo* still undercuts it (n < k²D² in the
+		// Yo*-viable niche).
+		if yoBeatsCTE && ln < 2*lk+2*ld {
+			return WinnerYoStar
+		}
+		return WinnerBFDN
+	case bfdnlBeatsCTE:
+		return WinnerBFDNL
+	case yoBeatsCTE:
+		return WinnerYoStar
+	default:
+		return WinnerCTE
+	}
+}
+
+// RegionMap samples WinnerAt over a log-log grid: rows sweep log₂D from
+// high to low, columns sweep log₂n. It reproduces Figure 1 analytically.
+type RegionMap struct {
+	K          int
+	Log2NMin   float64
+	Log2NMax   float64
+	Log2DMin   float64
+	Log2DMax   float64
+	Cols, Rows int
+	Cells      [][]Winner // Cells[row][col], row 0 = largest D
+}
+
+// NewRegionMap samples the map.
+func NewRegionMap(k int, log2nMin, log2nMax, log2dMin, log2dMax float64, cols, rows int) *RegionMap {
+	m := &RegionMap{
+		K: k, Log2NMin: log2nMin, Log2NMax: log2nMax,
+		Log2DMin: log2dMin, Log2DMax: log2dMax,
+		Cols: cols, Rows: rows,
+	}
+	m.Cells = make([][]Winner, rows)
+	for r := 0; r < rows; r++ {
+		m.Cells[r] = make([]Winner, cols)
+		ld := log2dMax - (log2dMax-log2dMin)*float64(r)/float64(rows-1)
+		for c := 0; c < cols; c++ {
+			ln := log2nMin + (log2nMax-log2nMin)*float64(c)/float64(cols-1)
+			m.Cells[r][c] = WinnerAt(math.Pow(2, ln), math.Pow(2, ld), k)
+		}
+	}
+	return m
+}
+
+// Render draws the map as ASCII art with axis labels, one character per
+// cell: C = CTE, Y = Yo*, B = BFDN, L = BFDN_ℓ, '.' = no tree (n ≤ D).
+func (m *RegionMap) Render() string {
+	var sb strings.Builder
+	sb.WriteString("log2(D)\n")
+	for r := 0; r < m.Rows; r++ {
+		ld := m.Log2DMax - (m.Log2DMax-m.Log2DMin)*float64(r)/float64(m.Rows-1)
+		sb.WriteString(padLeft(formatF(ld), 6))
+		sb.WriteString(" |")
+		for c := 0; c < m.Cols; c++ {
+			sb.WriteRune(m.Cells[r][c].Rune())
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("       +")
+	sb.WriteString(strings.Repeat("-", m.Cols))
+	sb.WriteByte('\n')
+	sb.WriteString("        ")
+	sb.WriteString(padLeft(formatF(m.Log2NMin), 0))
+	pad := m.Cols - len(formatF(m.Log2NMin)) - len(formatF(m.Log2NMax))
+	if pad < 1 {
+		pad = 1
+	}
+	sb.WriteString(strings.Repeat(" ", pad))
+	sb.WriteString(formatF(m.Log2NMax))
+	sb.WriteString("  log2(n)\n")
+	sb.WriteString("legend: C=CTE  Y=Yo*  B=BFDN  L=BFDN_l  .=no tree (n<=D)\n")
+	return sb.String()
+}
+
+// Share reports the fraction of valid cells won by w.
+func (m *RegionMap) Share(w Winner) float64 {
+	won, valid := 0, 0
+	for _, row := range m.Cells {
+		for _, c := range row {
+			if c == WinnerNone {
+				continue
+			}
+			valid++
+			if c == w {
+				won++
+			}
+		}
+	}
+	if valid == 0 {
+		return 0
+	}
+	return float64(won) / float64(valid)
+}
+
+func formatF(x float64) string {
+	v := int(math.Round(x))
+	if v < 0 {
+		return "-" + formatF(-x)
+	}
+	digits := "0123456789"
+	if v < 10 {
+		return string(digits[v])
+	}
+	return formatF(float64(v/10)) + string(digits[v%10])
+}
+
+func padLeft(s string, w int) string {
+	for len(s) < w {
+		s = " " + s
+	}
+	return s
+}

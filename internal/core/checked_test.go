@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// TestBFDNUnderFullInvariantChecking runs BFDN with the per-round model
+// checker (robot adjacency, explored-set connectivity, edge accounting).
+func TestBFDNUnderFullInvariantChecking(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, tr := range []*tree.Tree{
+		tree.Random(200, 12, rng), tree.Spider(5, 9), tree.Comb(8, 4),
+	} {
+		for _, k := range []int{1, 4, 12} {
+			w, err := sim.NewWorld(tr, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.RunChecked(w, NewAlgorithm(k), 0)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", tr, k, err)
+			}
+			if !res.FullyExplored || !res.AllAtRoot {
+				t.Fatalf("%s k=%d: incomplete", tr, k)
+			}
+		}
+	}
+}
+
+func TestShortcutUnderFullInvariantChecking(t *testing.T) {
+	tr := tree.Random(200, 15, rand.New(rand.NewSource(92)))
+	w, err := sim.NewWorld(tr, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunChecked(w, NewAlgorithm(6, WithShortcutReanchor()), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !w.FullyExplored() {
+		t.Fatal("incomplete")
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfdn/internal/tree"
+)
+
+// TestGoldenRoundCounts pins exact round counts for fixed seeds: BFDN is
+// deterministic, so any change here signals a behavioural change in the
+// algorithm or the simulator and must be reviewed deliberately.
+func TestGoldenRoundCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *tree.Tree
+		k    int
+		want int
+	}{
+		{"path50-k4", tree.Path(50), 4, 98},
+		{"star64-k8", tree.Star(65), 8, 16},
+		{"binary d7-k4", tree.KAry(2, 7), 4, 129},
+		{"spider 6x9-k3", tree.Spider(6, 9), 3, 36},
+		{"random-k8", tree.Random(500, 15, rand.New(rand.NewSource(42))), 8, 250},
+	}
+	for _, tc := range cases {
+		res, _ := runBFDN(t, tc.tr, tc.k)
+		if res.Rounds != tc.want {
+			t.Errorf("%s: rounds = %d, want pinned %d", tc.name, res.Rounds, tc.want)
+		}
+	}
+	// Determinism across repetitions is the enforceable half.
+	for _, tc := range cases {
+		a, _ := runBFDN(t, tc.tr, tc.k)
+		b, _ := runBFDN(t, tc.tr, tc.k)
+		if a.Rounds != b.Rounds {
+			t.Errorf("%s: nondeterministic rounds %d vs %d", tc.name, a.Rounds, b.Rounds)
+		}
+	}
+}

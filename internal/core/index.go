@@ -1,0 +1,194 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"bfdn/internal/tree"
+)
+
+// anchorIndex maintains the set U of candidate anchors: explored nodes that
+// are adjacent to at least one dangling edge, bucketed by depth (relative to
+// the instance root). The minimal open depth is non-decreasing over a run of
+// BFDN — every newly opened node is strictly deeper than the node it was
+// discovered from — so the index keeps a forward-only cursor.
+//
+// Each bucket stores its members in a swap-delete slice (O(1) add/remove,
+// supports random and round-robin policies) and, for the load-based policies,
+// a lazy binary heap of (load, node) entries that is validated on pop.
+type anchorIndex struct {
+	buckets  []*depthBucket
+	minDepth int
+	// loads[v] is n_v, the number of robots currently anchored at v.
+	loads nodeInts
+	// pos[v] is the index of v in its bucket's members slice, or -1.
+	pos nodeInts
+	// sign is +1 for min-load (least-loaded) ordering, -1 for max-load.
+	sign int
+}
+
+type depthBucket struct {
+	members []tree.NodeID
+	heap    loadHeap
+	cursor  int // round-robin position
+}
+
+// nodeInts is a growable int32 slice indexed by NodeID with default -1 or 0.
+type nodeInts struct {
+	vals []int32
+	fill int32
+}
+
+func (g *nodeInts) get(v tree.NodeID) int32 {
+	if int(v) >= len(g.vals) {
+		return g.fill
+	}
+	return g.vals[v]
+}
+
+func (g *nodeInts) set(v tree.NodeID, x int32) {
+	for int(v) >= len(g.vals) {
+		g.vals = append(g.vals, g.fill)
+	}
+	g.vals[v] = x
+}
+
+func (g *nodeInts) add(v tree.NodeID, d int32) int32 {
+	nv := g.get(v) + d
+	g.set(v, nv)
+	return nv
+}
+
+type loadEntry struct {
+	node tree.NodeID
+	load int32
+}
+
+type loadHeap []loadEntry
+
+func (h loadHeap) Len() int            { return len(h) }
+func (h loadHeap) Less(i, j int) bool  { return h[i].load < h[j].load }
+func (h loadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *loadHeap) Push(x interface{}) { *h = append(*h, x.(loadEntry)) }
+func (h *loadHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func newAnchorIndex(minLoadOrder bool) *anchorIndex {
+	sign := 1
+	if !minLoadOrder {
+		sign = -1
+	}
+	return &anchorIndex{
+		pos:   nodeInts{fill: -1},
+		loads: nodeInts{fill: 0},
+		sign:  sign,
+	}
+}
+
+func (a *anchorIndex) bucket(depth int) *depthBucket {
+	for depth >= len(a.buckets) {
+		a.buckets = append(a.buckets, &depthBucket{})
+	}
+	return a.buckets[depth]
+}
+
+// addOpen registers node v (relative depth d) as adjacent to dangling edges.
+// It is idempotent: a node can reach it twice when an instance is seeded
+// from the view in the same round that delivers the node's explore event.
+func (a *anchorIndex) addOpen(v tree.NodeID, d int) {
+	if a.pos.get(v) >= 0 {
+		return
+	}
+	b := a.bucket(d)
+	a.pos.set(v, int32(len(b.members)))
+	b.members = append(b.members, v)
+	heap.Push(&b.heap, loadEntry{node: v, load: int32(a.sign) * a.loads.get(v)})
+}
+
+// close removes node v (relative depth d) from the open set. It is a no-op
+// if v is not currently open.
+func (a *anchorIndex) close(v tree.NodeID, d int) {
+	p := a.pos.get(v)
+	if p < 0 {
+		return
+	}
+	b := a.buckets[d]
+	last := len(b.members) - 1
+	moved := b.members[last]
+	b.members[p] = moved
+	b.members = b.members[:last]
+	if moved != v {
+		a.pos.set(moved, p)
+	}
+	a.pos.set(v, -1)
+	if b.cursor > int(p) {
+		b.cursor--
+	}
+	// Heap entries for v become stale and are discarded lazily on pop.
+}
+
+// changeLoad adjusts n_v by delta, refreshing the heap entry if v is open.
+func (a *anchorIndex) changeLoad(v tree.NodeID, vDepth int, delta int) {
+	nv := a.loads.add(v, int32(delta))
+	if a.pos.get(v) >= 0 {
+		b := a.buckets[vDepth]
+		heap.Push(&b.heap, loadEntry{node: v, load: int32(a.sign) * nv})
+	}
+}
+
+// minOpenDepth advances the cursor to the smallest depth ≤ limit that has an
+// open node and returns it; ok is false if no open node exists at depth ≤
+// limit. limit < 0 means unlimited.
+func (a *anchorIndex) minOpenDepth(limit int) (int, bool) {
+	for a.minDepth < len(a.buckets) && len(a.buckets[a.minDepth].members) == 0 {
+		a.minDepth++
+	}
+	if a.minDepth >= len(a.buckets) {
+		return 0, false
+	}
+	if limit >= 0 && a.minDepth > limit {
+		return 0, false
+	}
+	return a.minDepth, true
+}
+
+// pickMinLoad pops the valid least-load (or most-load, per sign) open node at
+// depth d. The bucket must be non-empty.
+func (a *anchorIndex) pickMinLoad(d int) tree.NodeID {
+	b := a.buckets[d]
+	for {
+		if len(b.heap) == 0 {
+			// Unreachable if the bucket invariant holds (every open member
+			// has one valid heap entry); guard against silent corruption.
+			panic(fmt.Sprintf("core: anchor index corrupt: empty heap at depth %d with members %v", d, b.members))
+		}
+		e := b.heap[0]
+		if a.pos.get(e.node) < 0 || e.load != int32(a.sign)*a.loads.get(e.node) {
+			heap.Pop(&b.heap) // stale entry
+			continue
+		}
+		return e.node
+	}
+}
+
+// pickAt returns the i-th member of the bucket at depth d (for random policy).
+func (a *anchorIndex) pickAt(d, i int) tree.NodeID { return a.buckets[d].members[i] }
+
+// bucketLen reports the number of open nodes at depth d.
+func (a *anchorIndex) bucketLen(d int) int { return len(a.buckets[d].members) }
+
+// pickRoundRobin returns the next member in rotation at depth d.
+func (a *anchorIndex) pickRoundRobin(d int) tree.NodeID {
+	b := a.buckets[d]
+	if b.cursor >= len(b.members) {
+		b.cursor = 0
+	}
+	v := b.members[b.cursor]
+	b.cursor++
+	return v
+}

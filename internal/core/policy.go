@@ -1,0 +1,37 @@
+package core
+
+// Policy selects which candidate anchor a re-anchored robot is assigned to,
+// among the open nodes at minimal depth. The paper's BFDN uses LeastLoaded
+// (Algorithm 1, line 28); the others exist for the A1 ablation, which
+// measures how much the balancing rule matters.
+type Policy int
+
+// The re-anchoring policies.
+const (
+	// LeastLoaded assigns the open node with the fewest anchored robots —
+	// the player strategy of the urns game (Theorem 3).
+	LeastLoaded Policy = iota + 1
+	// RoundRobin cycles through the open nodes at the working depth.
+	RoundRobin
+	// RandomOpen picks a uniformly random open node at the working depth.
+	RandomOpen
+	// MostLoaded assigns the open node with the most anchored robots — the
+	// pessimal counterpart of LeastLoaded.
+	MostLoaded
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case RoundRobin:
+		return "round-robin"
+	case RandomOpen:
+		return "random"
+	case MostLoaded:
+		return "most-loaded"
+	default:
+		return "unknown"
+	}
+}

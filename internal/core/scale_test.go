@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// TestBFDNLargeScale is a soak/performance canary: a million-node tree with
+// 256 robots must finish in seconds — a quadratic regression in the anchor
+// index or the simulator would blow the round cap or the wall-clock budget.
+func TestBFDNLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale soak skipped in -short mode")
+	}
+	tr := tree.Random(1_000_000, 100, rand.New(rand.NewSource(99)))
+	start := time.Now()
+	w, err := sim.NewWorld(tr, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(w, NewAlgorithm(256), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if !res.FullyExplored || !res.AllAtRoot {
+		t.Fatal("incomplete")
+	}
+	if res.EdgeExplorations != tr.N()-1 {
+		t.Fatalf("explorations = %d", res.EdgeExplorations)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("run took %v — likely a complexity regression", elapsed)
+	}
+	t.Logf("n=1e6 k=256: %d rounds in %v", res.Rounds, elapsed)
+}

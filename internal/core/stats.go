@@ -1,0 +1,43 @@
+package core
+
+// Excursion records one anchored round trip of a robot: assigned an anchor at
+// (relative) depth Depth, the robot spent Rounds rounds away from the
+// instance root and explored Explored dangling edges. Claim 3 of the paper
+// states Explored == (Rounds − 2·Depth) / 2.
+type Excursion struct {
+	Robot    int
+	Depth    int
+	Rounds   int
+	Explored int
+}
+
+// Stats instruments the quantities the paper's analysis bounds.
+type Stats struct {
+	// ReanchorsPerDepth[d] counts Reanchor calls that returned an anchor at
+	// relative depth d (Lemma 2 bounds each entry with d ≥ 1 by
+	// k·(min{log k, log Δ} + 3)).
+	ReanchorsPerDepth []int
+	// Excursions holds per-excursion records when recording is enabled
+	// (WithExcursionRecording); otherwise nil.
+	Excursions []Excursion
+	// IdleSelections counts ⊥ selections (robot at root with nothing to do).
+	IdleSelections int
+}
+
+// MaxReanchorsAtDepth returns max over d ≥ 1 of ReanchorsPerDepth[d].
+func (s *Stats) MaxReanchorsAtDepth() int {
+	best := 0
+	for d, c := range s.ReanchorsPerDepth {
+		if d >= 1 && c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+func (s *Stats) countReanchor(depth int) {
+	for depth >= len(s.ReanchorsPerDepth) {
+		s.ReanchorsPerDepth = append(s.ReanchorsPerDepth, 0)
+	}
+	s.ReanchorsPerDepth[depth]++
+}

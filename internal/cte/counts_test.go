@@ -1,0 +1,83 @@
+package cte
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// TestOpenSubtreeCountsExact validates CTE's incremental per-subtree
+// dangling-edge counters against a brute-force recount after every round —
+// the counters drive every routing decision, so silent drift would corrupt
+// the algorithm without necessarily failing the end-to-end checks.
+//
+// Timing: after Apply of round r, the algorithm's counters reflect events up
+// to round r−1 (they absorb round r's events at the next SelectMoves), while
+// the view reflects round r. The recount is therefore adjusted by undoing
+// round r's events before comparing.
+func TestOpenSubtreeCountsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	tr := tree.Random(200, 12, rng)
+	k := 5
+	w, err := sim.NewWorld(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(k)
+	v := w.View()
+	var events []sim.ExploreEvent
+	for round := 0; round < 1_000_000; round++ {
+		moves, err := c.SelectMoves(v, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, moved, err := w.Apply(moves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = ev
+		if !moved {
+			break
+		}
+		for node := tree.NodeID(0); int(node) < tr.N(); node++ {
+			if !v.Explored(node) {
+				continue
+			}
+			adjusted := recountOpen(v, tr, node)
+			for _, e := range events {
+				switch {
+				case tr.IsAncestor(node, e.Parent):
+					// Round r consumed one dangling edge at e.Parent and
+					// added e.NewDangling at e.Child, both inside T(node).
+					adjusted -= e.NewDangling - 1
+				case node == e.Child:
+					// The node itself was discovered this round; the counter
+					// does not know it yet (implicitly zero).
+					adjusted -= e.NewDangling
+				}
+			}
+			if got := int(c.open.get(node)); got != adjusted {
+				t.Fatalf("round %d node %d: counter %d, adjusted recount %d",
+					round, node, got, adjusted)
+			}
+		}
+	}
+	if !w.FullyExplored() {
+		t.Fatal("incomplete")
+	}
+}
+
+// recountOpen counts dangling edges in T(node) from the view.
+func recountOpen(v *sim.View, tr *tree.Tree, node tree.NodeID) int {
+	total := 0
+	stack := []tree.NodeID{node}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		total += v.DanglingAt(u)
+		stack = append(stack, v.ExploredChildren(u)...)
+	}
+	return total
+}

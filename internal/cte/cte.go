@@ -1,0 +1,160 @@
+// Package cte implements the Collective Tree Exploration algorithm of
+// Fraigniaud, Gasieniec, Kowalski and Pelc (2006) — reference [10] of the
+// paper — as the baseline BFDN is compared against.
+//
+// CTE keeps the robots in groups: all robots located at a node v whose
+// subtree still contains unexplored edges split as evenly as possible among
+// the "alive" targets at v (explored children whose subtree has a dangling
+// edge, and the dangling edges at v itself); robots at a node whose subtree
+// is fully explored move up towards the root. Groups may traverse a dangling
+// edge together. CTE explores any tree in O(n/log k + D) rounds, which is
+// the best known competitive ratio, O(k/log k); its additive overhead over
+// 2n/k can however reach Ω(Dk/log k) (Higashikawa et al. [11]), which is
+// what experiment E10 exhibits against BFDN.
+package cte
+
+import (
+	"fmt"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// CTE is the algorithm state. It implements sim.Algorithm.
+type CTE struct {
+	k int
+	// open[v] counts dangling edges in T(v) (maintained from explore events).
+	open nodeCounts
+	// scratch buffers reused across rounds.
+	moves  []sim.Move
+	groups map[tree.NodeID][]int
+	seeded bool
+}
+
+var _ sim.Algorithm = (*CTE)(nil)
+
+// nodeCounts is a growable int32 slice indexed by NodeID.
+type nodeCounts struct {
+	vals []int32
+}
+
+func (g *nodeCounts) get(v tree.NodeID) int32 {
+	if int(v) >= len(g.vals) {
+		return 0
+	}
+	return g.vals[v]
+}
+
+func (g *nodeCounts) add(v tree.NodeID, d int32) {
+	for int(v) >= len(g.vals) {
+		g.vals = append(g.vals, 0)
+	}
+	g.vals[v] += d
+}
+
+// New returns a CTE instance for k robots.
+func New(k int) *CTE {
+	return &CTE{
+		k:      k,
+		moves:  make([]sim.Move, k),
+		groups: make(map[tree.NodeID][]int),
+	}
+}
+
+// SelectMoves implements sim.Algorithm.
+func (c *CTE) SelectMoves(v *sim.View, events []sim.ExploreEvent) ([]sim.Move, error) {
+	if !c.seeded {
+		c.open.add(tree.Root, int32(v.DanglingAt(tree.Root)))
+		c.seeded = true
+	}
+	// Maintain the per-subtree dangling counts: discovering child with m
+	// hidden children consumes one dangling edge at the parent and adds m at
+	// the child, i.e. +m at the child and (m−1) along all ancestors.
+	for _, e := range events {
+		c.open.add(e.Child, int32(e.NewDangling))
+		delta := int32(e.NewDangling - 1)
+		if delta != 0 {
+			for u := e.Parent; ; u = v.Parent(u) {
+				c.open.add(u, delta)
+				if u == tree.Root {
+					break
+				}
+			}
+		}
+	}
+
+	// Group robots by position.
+	for node := range c.groups {
+		delete(c.groups, node)
+	}
+	for i := 0; i < c.k; i++ {
+		p := v.Pos(i)
+		c.groups[p] = append(c.groups[p], i)
+	}
+
+	for node, robots := range c.groups {
+		if err := c.decideGroup(v, node, robots); err != nil {
+			return nil, err
+		}
+	}
+	return c.moves, nil
+}
+
+// decideGroup assigns this round's moves for the robots located at node.
+func (c *CTE) decideGroup(v *sim.View, node tree.NodeID, robots []int) error {
+	if c.open.get(node) == 0 {
+		// Subtree fully explored: head home.
+		for _, i := range robots {
+			if node == tree.Root {
+				c.moves[i] = sim.Move{Kind: sim.Stay}
+			} else {
+				c.moves[i] = sim.Move{Kind: sim.Up}
+			}
+		}
+		return nil
+	}
+	// Alive targets: explored children with open subtrees, then dangling
+	// edges at node (one target per dangling edge, shared tickets).
+	type target struct {
+		kind   sim.MoveKind
+		child  tree.NodeID
+		ticket sim.Ticket
+	}
+	var targets []target
+	for _, ch := range v.ExploredChildren(node) {
+		if c.open.get(ch) > 0 {
+			targets = append(targets, target{kind: sim.Down, child: ch})
+		}
+	}
+	nd := v.UnreservedDanglingAt(node)
+	if nd > len(robots) {
+		nd = len(robots) // no point opening more edges than robots present
+	}
+	for j := 0; j < nd; j++ {
+		tk, ok := v.ReserveDangling(node)
+		if !ok {
+			return fmt.Errorf("cte: node %d: reservation failed with %d reported dangling", node, nd)
+		}
+		targets = append(targets, target{kind: sim.Explore, ticket: tk})
+	}
+	if len(targets) == 0 {
+		// open>0 but nothing actionable at node: all dangling edges here were
+		// reserved by other groups (impossible: groups are disjoint by node)
+		// — defensive error.
+		return fmt.Errorf("cte: node %d: open subtree without alive targets", node)
+	}
+	// Even split: robot j goes to target j mod len(targets).
+	for j, i := range robots {
+		t := targets[j%len(targets)]
+		switch t.kind {
+		case sim.Down:
+			c.moves[i] = sim.Move{Kind: sim.Down, Child: t.child}
+		case sim.Explore:
+			c.moves[i] = sim.Move{Kind: sim.Explore, Ticket: t.ticket}
+		}
+	}
+	return nil
+}
+
+// NewAlgorithm is a convenience constructor mirroring core.NewAlgorithm.
+func NewAlgorithm(k int) *CTE { return New(k) }

@@ -1,0 +1,119 @@
+package cte
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+func runCTE(t *testing.T, tr *tree.Tree, k int) sim.Result {
+	t.Helper()
+	w, err := sim.NewWorld(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(w, New(k), 0)
+	if err != nil {
+		t.Fatalf("CTE(%s, k=%d): %v", tr, k, err)
+	}
+	if !res.FullyExplored {
+		t.Fatalf("CTE(%s, k=%d): not fully explored (%d/%d)", tr, k, w.ExploredCount(), tr.N())
+	}
+	if !res.AllAtRoot {
+		t.Fatalf("CTE(%s, k=%d): robots not home", tr, k)
+	}
+	return res
+}
+
+func testTrees(t *testing.T) []*tree.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(88))
+	return []*tree.Tree{
+		tree.Path(1), tree.Path(2), tree.Path(40), tree.Star(30),
+		tree.KAry(2, 6), tree.KAry(4, 3), tree.Spider(6, 8),
+		tree.Comb(10, 4), tree.Broom(12, 8),
+		tree.Random(400, 12, rng), tree.RandomBinary(250, rng),
+		tree.UnevenPaths(8, 24),
+	}
+}
+
+func TestCTECorrectness(t *testing.T) {
+	for _, tr := range testTrees(t) {
+		for _, k := range []int{1, 2, 5, 16, 64} {
+			runCTE(t, tr, k)
+		}
+	}
+}
+
+func TestCTESingleRobotIsDFS(t *testing.T) {
+	for _, tr := range testTrees(t) {
+		res := runCTE(t, tr, 1)
+		if want := 2 * (tr.N() - 1); res.Rounds != want {
+			t.Errorf("%s: CTE k=1 rounds = %d, want %d (DFS)", tr, res.Rounds, want)
+		}
+	}
+}
+
+func TestCTEEveryEdgeExploredOnce(t *testing.T) {
+	for _, tr := range testTrees(t) {
+		res := runCTE(t, tr, 8)
+		if res.EdgeExplorations != tr.N()-1 {
+			t.Errorf("%s: %d explorations, want %d", tr, res.EdgeExplorations, tr.N()-1)
+		}
+	}
+}
+
+func TestCTEImprovesWithRobots(t *testing.T) {
+	tr := tree.Random(4000, 10, rand.New(rand.NewSource(3)))
+	r1 := runCTE(t, tr, 1)
+	r16 := runCTE(t, tr, 16)
+	if float64(r16.Rounds) > 0.6*float64(r1.Rounds) {
+		t.Errorf("CTE k=16 (%d rounds) not much faster than k=1 (%d rounds)", r16.Rounds, r1.Rounds)
+	}
+}
+
+func TestCTEStarManyRobots(t *testing.T) {
+	// k ≥ n−1 robots on a star: two rounds suffice (out and back).
+	res := runCTE(t, tree.Star(17), 16)
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", res.Rounds)
+	}
+}
+
+func TestCTEDeterministic(t *testing.T) {
+	tr := tree.Random(500, 15, rand.New(rand.NewSource(5)))
+	a := runCTE(t, tr, 8)
+	b := runCTE(t, tr, 8)
+	if a.Rounds != b.Rounds || a.Moves != b.Moves {
+		t.Errorf("runs differ: %d/%d rounds", a.Rounds, b.Rounds)
+	}
+}
+
+func TestCTEGroupsShareDanglingEdges(t *testing.T) {
+	// On a path, all k robots march together through each dangling edge;
+	// moves should be ~k per round while exploring, and the run must finish
+	// in 2(n−1) rounds like DFS.
+	tr := tree.Path(20)
+	res := runCTE(t, tr, 4)
+	if res.Rounds != 2*(tr.N()-1) {
+		t.Errorf("path rounds = %d, want %d", res.Rounds, 2*(tr.N()-1))
+	}
+	if res.Moves < int64(4*(tr.N()-1)) {
+		t.Errorf("moves = %d: the group did not travel together", res.Moves)
+	}
+}
+
+func TestCTEUnevenPathsOverheadExceedsBFDNShape(t *testing.T) {
+	// On the CTE-hard family, CTE's overhead over 2n/k grows with D while
+	// remaining correct. This is a qualitative check; the full comparison is
+	// experiment E10.
+	k := 8
+	tr := tree.UnevenPaths(k, 60)
+	res := runCTE(t, tr, k)
+	opt := 2 * float64(tr.N()-1) / float64(k)
+	if float64(res.Rounds) < opt {
+		t.Errorf("rounds %d below 2n/k = %.1f, impossible", res.Rounds, opt)
+	}
+}

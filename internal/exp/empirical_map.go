@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"bfdn/internal/core"
+	"bfdn/internal/cte"
+	"bfdn/internal/recursive"
+	"bfdn/internal/tree"
+)
+
+// EmpiricalRegionMap is the measured counterpart of Figure 1: for each cell
+// of a (log₂n, log₂D) grid it generates a random tree, runs BFDN, BFDN₂ and
+// CTE with k robots, and plots the letter of the fastest. Cell sizes are
+// capped by maxN to keep the map affordable.
+func EmpiricalRegionMap(cfg Config, k, cols, rows, log2nMax, log2dMax, maxN int) (string, error) {
+	if cols < 2 || rows < 2 {
+		return "", fmt.Errorf("exp: need at least a 2x2 map")
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("empirical winner map, k=%d (measured rounds; B=BFDN L=BFDN_2 C=CTE .=no tree)\n", k))
+	sb.WriteString("log2(D)\n")
+	for r := 0; r < rows; r++ {
+		ld := float64(log2dMax) - float64(log2dMax-1)*float64(r)/float64(rows-1)
+		sb.WriteString(fmt.Sprintf("%6.1f |", ld))
+		for c := 0; c < cols; c++ {
+			ln := 4 + (float64(log2nMax)-4)*float64(c)/float64(cols-1)
+			n := int(pow2(ln))
+			d := int(pow2(ld))
+			if n > maxN {
+				n = maxN
+			}
+			if d >= n || n < 2 {
+				sb.WriteByte('.')
+				continue
+			}
+			winner, err := empiricalWinner(cfg, n, d, k, c*rows+r)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteByte(winner)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("       +")
+	sb.WriteString(strings.Repeat("-", cols))
+	sb.WriteString("\n        4")
+	sb.WriteString(strings.Repeat(" ", cols-4))
+	sb.WriteString(fmt.Sprintf("%d  log2(n), capped at n=%d\n", log2nMax, maxN))
+	return sb.String(), nil
+}
+
+func pow2(x float64) float64 {
+	v := 1.0
+	for x >= 1 {
+		v *= 2
+		x--
+	}
+	if x > 0 {
+		// Linear interpolation is plenty for cell sizing.
+		v *= 1 + x
+	}
+	return v
+}
+
+func empiricalWinner(cfg Config, n, d, k, salt int) (byte, error) {
+	tr := tree.Random(n, d, cfg.rng(int64(1000+salt)))
+	rB, err := run(tr, k, core.NewAlgorithm(k))
+	if err != nil {
+		return 0, err
+	}
+	rC, err := run(tr, k, cte.New(k))
+	if err != nil {
+		return 0, err
+	}
+	alg, err := recursive.NewBFDNL(k, 2)
+	if err != nil {
+		return 0, err
+	}
+	rL, err := run(tr, k, alg)
+	if err != nil {
+		return 0, err
+	}
+	winner, best := byte('B'), rB.Rounds
+	if rL.Rounds < best {
+		winner, best = 'L', rL.Rounds
+	}
+	if rC.Rounds < best {
+		winner = 'C'
+	}
+	return winner, nil
+}

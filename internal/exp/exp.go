@@ -1,0 +1,84 @@
+// Package exp runs the reproduction experiments E1–E11 and the ablations
+// A1–A2 indexed in DESIGN.md, producing the tables recorded in
+// EXPERIMENTS.md. The same runners back cmd/experiments and the root
+// bench harness, so paper-prediction checks live in exactly one place.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// Config scales the experiment suite. The zero value is invalid; use
+// DefaultConfig.
+type Config struct {
+	// Seed drives all workload generation.
+	Seed int64
+	// Scale multiplies workload sizes: 1 = CI-sized (sub-second per
+	// experiment), larger values for the full cmd/experiments run.
+	Scale int
+}
+
+// DefaultConfig is the CI-sized configuration.
+func DefaultConfig() Config { return Config{Seed: 1, Scale: 1} }
+
+func (c Config) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + salt))
+}
+
+// Outcome is the machine-checkable half of an experiment: how many paper
+// predictions were checked and how many failed.
+type Outcome struct {
+	Checks     int
+	Violations int
+	// Notes carries one line per violation (empty when everything held).
+	Notes []string
+}
+
+func (o *Outcome) check(ok bool, format string, args ...interface{}) {
+	o.Checks++
+	if !ok {
+		o.Violations++
+		o.Notes = append(o.Notes, fmt.Sprintf(format, args...))
+	}
+}
+
+// run executes alg on tr with k robots and fails loudly on simulator errors
+// or incomplete exploration.
+func run(tr *tree.Tree, k int, alg sim.Algorithm) (sim.Result, error) {
+	w, err := sim.NewWorld(tr, k)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res, err := sim.Run(w, alg, 0)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if !res.FullyExplored {
+		return sim.Result{}, fmt.Errorf("exp: %s k=%d: incomplete exploration", tr, k)
+	}
+	return res, nil
+}
+
+// workloadTrees is the shared tree suite: one representative per family,
+// scaled by cfg.Scale.
+func workloadTrees(cfg Config) []*tree.Tree {
+	s := cfg.Scale
+	rng := cfg.rng(7)
+	return []*tree.Tree{
+		tree.Path(60 * s),
+		tree.Star(80 * s),
+		tree.KAry(2, 7),
+		tree.Spider(8, 12*s),
+		tree.Comb(20*s, 6),
+		tree.Caterpillar(15*s, 5),
+		tree.Broom(20*s, 30*s),
+		tree.Random(1500*s, 18, rng),
+		tree.Random(800*s, 60, rng),
+		tree.RandomBinary(600*s, rng),
+		tree.UnevenPaths(16, 40*s),
+	}
+}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllNoViolations(t *testing.T) {
+	reports, err := RunAll(DefaultConfig())
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(reports) != 16 {
+		t.Fatalf("got %d reports, want 16", len(reports))
+	}
+	for _, r := range reports {
+		if r.Outcome.Checks == 0 {
+			t.Errorf("%s: no predictions checked", r.ID)
+		}
+		if r.Outcome.Violations != 0 {
+			t.Errorf("%s: %d/%d predictions violated: %v",
+				r.ID, r.Outcome.Violations, r.Outcome.Checks, r.Outcome.Notes)
+		}
+		if len(r.Table.Rows) == 0 {
+			t.Errorf("%s: empty table", r.ID)
+		}
+	}
+}
+
+func TestE2Figure1MapsRendered(t *testing.T) {
+	_, extra, out, err := E2Figure1(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violations != 0 {
+		t.Errorf("violations: %v", out.Notes)
+	}
+	for _, want := range []string{"legend", "winner", "BFDN"} {
+		if !strings.Contains(extra, want) {
+			t.Errorf("E2 extra output missing %q", want)
+		}
+	}
+}
+
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	seq, err := RunAll(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAllParallel(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("report counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID {
+			t.Errorf("order differs at %d: %s vs %s", i, seq[i].ID, par[i].ID)
+		}
+		if seq[i].Table.Render() != par[i].Table.Render() {
+			t.Errorf("%s: parallel output differs from sequential", seq[i].ID)
+		}
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	t1, _, err := E1Theorem1(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := E1Theorem1(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Render() != t2.Render() {
+		t.Error("E1 output differs across identical runs")
+	}
+}
+
+func TestEmpiricalRegionMap(t *testing.T) {
+	m, err := EmpiricalRegionMap(DefaultConfig(), 16, 8, 5, 11, 6, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, "B") {
+		t.Errorf("no BFDN cells in:\n%s", m)
+	}
+	if !strings.Contains(m, "log2(D)") {
+		t.Error("missing axis label")
+	}
+	if _, err := EmpiricalRegionMap(DefaultConfig(), 4, 1, 1, 8, 4, 100); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestOutcomeCheck(t *testing.T) {
+	var o Outcome
+	o.check(true, "fine")
+	o.check(false, "bad %d", 7)
+	if o.Checks != 2 || o.Violations != 1 {
+		t.Errorf("outcome = %+v", o)
+	}
+	if len(o.Notes) != 1 || o.Notes[0] != "bad 7" {
+		t.Errorf("notes = %v", o.Notes)
+	}
+}
+
+func TestGuaranteeRatio(t *testing.T) {
+	if guaranteeRatio(50, 100) != "0.50" {
+		t.Errorf("ratio = %s", guaranteeRatio(50, 100))
+	}
+	if guaranteeRatio(1, 0) != "-" {
+		t.Error("zero bound not handled")
+	}
+}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"bfdn/internal/core"
+	"bfdn/internal/levelwise"
+	"bfdn/internal/sim"
+	"bfdn/internal/table"
+	"bfdn/internal/tree"
+)
+
+// E12OpenDirections exercises the "Open directions" discussion of the
+// paper: with k ≥ n/D robots, the simple level-wise algorithm of [13]
+// explores any tree in O(D²) rounds — the benchmark against which the
+// paper's 2n/k + O(D²·log k) and the Ω(D²) lower bound of [6] are judged.
+// Predictions: level-wise stays within 2(D+1)(D+⌈(n−1)/k⌉) everywhere and
+// within ~4D² when k ≥ n/D; BFDN stays within Theorem 1 on the same runs.
+func E12OpenDirections(cfg Config) (*table.Table, Outcome, error) {
+	tb := table.New("E12 — open directions: level-wise O(D²) algorithm vs BFDN at k ≥ n/D",
+		"tree", "k", "levelwise", "lw-bound", "4D²", "BFDN", "phases")
+	var out Outcome
+	rng := cfg.rng(12)
+	suite := []*tree.Tree{
+		tree.Random(500*cfg.Scale, 25, rng),
+		tree.Random(1200*cfg.Scale, 40, rng),
+		tree.KAry(2, 8),
+		tree.Spider(20, 15*cfg.Scale),
+	}
+	for _, tr := range suite {
+		// k = ⌈n/D⌉: the regime of the O(D²) claim.
+		k := (tr.N() + tr.Depth() - 1) / tr.Depth()
+		w, err := sim.NewWorld(tr, k)
+		if err != nil {
+			return nil, out, err
+		}
+		alg := levelwise.New(k)
+		res, err := sim.Run(w, alg, 0)
+		if err != nil {
+			return nil, out, err
+		}
+		if !res.FullyExplored || !res.AllAtRoot {
+			out.check(false, "E12: %s k=%d: incomplete", tr, k)
+			continue
+		}
+		rB, err := run(tr, k, core.NewAlgorithm(k))
+		if err != nil {
+			return nil, out, err
+		}
+		d := float64(tr.Depth())
+		lwBound := levelwise.Bound(tr.N(), tr.Depth(), k)
+		tb.AddRow(tr.String(), k, res.Rounds, lwBound, 4*d*d, rB.Rounds, alg.Phases)
+		out.check(float64(res.Rounds) <= lwBound,
+			"E12: %s k=%d: %d rounds > guarantee %.1f", tr, k, res.Rounds, lwBound)
+		out.check(float64(res.Rounds) <= 4*d*d+6*d+4,
+			"E12: %s k=%d: %d rounds break the O(D²) claim (cap %.0f)", tr, k, res.Rounds, 4*d*d+6*d+4)
+	}
+	return tb, out, nil
+}

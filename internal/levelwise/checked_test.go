@@ -1,0 +1,28 @@
+package levelwise
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+func TestLevelwiseUnderFullInvariantChecking(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for _, tr := range []*tree.Tree{
+		tree.Random(180, 10, rng), tree.Star(20), tree.Comb(7, 3),
+	} {
+		w, err := sim.NewWorld(tr, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunChecked(w, New(6), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if !res.FullyExplored || !res.AllAtRoot {
+			t.Fatalf("%s: incomplete", tr)
+		}
+	}
+}

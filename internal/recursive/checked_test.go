@@ -1,0 +1,41 @@
+package recursive
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// TestBFDNLUnderFullInvariantChecking runs BFDN_ℓ with the per-round model
+// checker: the divide-depth travel plans and adoption logic must never make
+// a robot jump, leave the explored set, or corrupt accounting.
+func TestBFDNLUnderFullInvariantChecking(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for _, tr := range []*tree.Tree{
+		tree.Random(250, 30, rng), tree.Spider(4, 40), tree.KAry(2, 6),
+	} {
+		for _, ell := range []int{2, 3} {
+			k := 9
+			if ell == 3 {
+				k = 27
+			}
+			w, err := sim.NewWorld(tr, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alg, err := NewBFDNL(k, ell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.RunChecked(w, alg, 0)
+			if err != nil {
+				t.Fatalf("%s ℓ=%d: %v", tr, ell, err)
+			}
+			if !res.FullyExplored || !res.AllAtRoot {
+				t.Fatalf("%s ℓ=%d: incomplete", tr, ell)
+			}
+		}
+	}
+}

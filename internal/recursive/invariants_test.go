@@ -1,0 +1,124 @@
+package recursive
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// TestBFDNLOpenNodeCoverageInvariant checks the central anchor-based
+// invariant of Appendix B on every round of a BFDN_ℓ run: every open node
+// (explored, adjacent to a dangling edge) lies in the subtree of some
+// active robot's anchor, as reported by ActiveAnchors — the certificate the
+// divide-depth functor relies on when it restricts the next iteration to
+// the interrupted instances' subtrees.
+func TestBFDNLOpenNodeCoverageInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, tc := range []struct {
+		tr  *tree.Tree
+		k   int
+		ell int
+	}{
+		{tree.Random(150, 12, rng), 4, 2},
+		{tree.Random(150, 40, rng), 9, 2},
+		{tree.Spider(5, 20), 8, 3},
+		{tree.Comb(12, 4), 4, 2},
+	} {
+		w, err := sim.NewWorld(tc.tr, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg, err := NewBFDNL(tc.k, tc.ell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := w.View()
+		var events []sim.ExploreEvent
+		for round := 0; round < 1_000_000; round++ {
+			moves, err := alg.SelectMoves(v, events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, moved, err := w.Apply(moves)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = ev
+			if !moved {
+				break
+			}
+			if alg.homing {
+				continue // nothing open remains during homing
+			}
+			pairs := alg.top.ActiveAnchors(v, nil)
+			for node := tree.NodeID(0); int(node) < tc.tr.N(); node++ {
+				if !v.Explored(node) || v.DanglingAt(node) == 0 {
+					continue
+				}
+				covered := false
+				for _, p := range pairs {
+					if tc.tr.IsAncestor(p.Anchor, node) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("%s k=%d ℓ=%d round %d: open node %d uncovered by %d active anchors",
+						tc.tr, tc.k, tc.ell, round, node, len(pairs))
+				}
+			}
+		}
+		if !w.FullyExplored() {
+			t.Fatalf("%s: incomplete", tc.tr)
+		}
+	}
+}
+
+// TestBFDNLParallelPositionsInvariant checks the Parallel Positions
+// invariant of Appendix B: for any two robots, every strict ancestor of
+// their positions' LCA is closed (has no dangling edge).
+func TestBFDNLParallelPositionsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := tree.Random(180, 15, rng)
+	k, ell := 4, 2
+	w, err := sim.NewWorld(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewBFDNL(k, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := w.View()
+	var events []sim.ExploreEvent
+	for round := 0; round < 1_000_000; round++ {
+		moves, err := alg.SelectMoves(v, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, moved, err := w.Apply(moves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = ev
+		if !moved {
+			break
+		}
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				lca := tr.LCA(v.Pos(i), v.Pos(j))
+				for a := tr.Parent(lca); a != tree.Nil; a = tr.Parent(a) {
+					if v.DanglingAt(a) > 0 {
+						t.Fatalf("round %d: robots %d,%d: open strict ancestor %d of their LCA %d",
+							round, i, j, a, lca)
+					}
+				}
+			}
+		}
+	}
+	if !w.FullyExplored() {
+		t.Fatal("incomplete")
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+// Metrics accumulates the quantities the paper's analysis reasons about.
+type Metrics struct {
+	// Rounds counts rounds in which at least one robot moved; this is the
+	// runtime T of the paper (the final all-stay round that triggers
+	// termination is not counted).
+	Rounds int
+	// TotalRounds counts all executed rounds including the final still round.
+	TotalRounds int
+	// Moves counts edge traversals summed over robots.
+	Moves int64
+	// MovesPerRobot breaks Moves down by robot.
+	MovesPerRobot []int64
+	// StillRobotRounds counts rounds in which some robot moved while another
+	// stayed (Claim 1 bounds these by D+1 for BFDN).
+	StillRobotRounds int
+	// EdgeExplorations counts first traversals of dangling edges (= n−1 at
+	// completion).
+	EdgeExplorations int
+	// DiscoveredEdges counts edges with at least one explored endpoint.
+	DiscoveredEdges int
+}
+
+func newMetrics(k int) Metrics {
+	return Metrics{MovesPerRobot: make([]int64, k)}
+}
+
+func (m *Metrics) addMove(robot int) {
+	m.Moves++
+	m.MovesPerRobot[robot]++
+}
+
+func (m *Metrics) clone() Metrics {
+	out := *m
+	out.MovesPerRobot = append([]int64(nil), m.MovesPerRobot...)
+	return out
+}

@@ -1,0 +1,298 @@
+// Package sim implements the synchronous collaborative-exploration model of
+// the paper (§2): k robots start at the root of a hidden rooted tree; in each
+// round every robot traverses one incident edge or stays; traversing a
+// dangling edge reveals its far endpoint.
+//
+// The package enforces the online model by construction: algorithms interact
+// with a *View, which only exposes explored structure and dangling-edge
+// counts. Traversal of dangling edges goes through a per-round reservation
+// API that also enforces Claim 2 of the paper (no two robots traverse the
+// same dangling edge in the round it is first explored).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"bfdn/internal/tree"
+)
+
+// MoveKind enumerates the possible per-round robot actions.
+type MoveKind int
+
+// The move kinds. Stay corresponds to the paper's ⊥ selection.
+const (
+	Stay    MoveKind = iota + 1
+	Up               // traverse the edge to the parent
+	Down             // traverse the edge to an already-explored child (Move.Child)
+	Explore          // traverse a reserved dangling edge (Move.Ticket)
+)
+
+// Move is one robot's action for the round.
+type Move struct {
+	Kind   MoveKind
+	Child  tree.NodeID // Down: the explored child to move to
+	Ticket Ticket      // Explore: reservation obtained from View.ReserveDangling
+}
+
+// Ticket is an opaque handle for a reserved dangling edge. Algorithms cannot
+// see which hidden node the edge leads to.
+type Ticket struct {
+	from  tree.NodeID
+	child tree.NodeID
+	round int
+}
+
+// From reports the explored endpoint of the reserved dangling edge.
+func (t Ticket) From() tree.NodeID { return t.from }
+
+// ExploreEvent records the discovery of one node, reported by Apply so that
+// complete-communication algorithms can maintain incremental indices.
+type ExploreEvent struct {
+	Parent tree.NodeID
+	Child  tree.NodeID
+	Robot  int
+	// NewDangling is the number of dangling edges at the discovered child,
+	// i.e. its number of hidden children.
+	NewDangling int
+}
+
+// World is the hidden environment: the offline tree plus the mutable
+// exploration state. Test and benchmark harnesses hold a *World; algorithms
+// hold only the *View obtained from View().
+type World struct {
+	t *tree.Tree
+	k int
+
+	pos           []tree.NodeID
+	explored      []bool
+	exploredCount int
+	// nextKid[v] is the number of children of v already explored; since
+	// dangling edges are handed out in port order, the explored children of v
+	// are exactly children(v)[:nextKid[v]].
+	nextKid []int32
+	// reservedRound/reservedCount implement per-round dangling reservation.
+	reservedRound []int32
+	reservedCount []int32
+
+	round   int
+	metrics Metrics
+	view    *View
+}
+
+// NewWorld creates a world with k robots at the root of t. The root starts
+// explored; all its edges are dangling.
+func NewWorld(t *tree.Tree, k int) (*World, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sim: need at least one robot, got %d", k)
+	}
+	w := &World{
+		t:             t,
+		k:             k,
+		pos:           make([]tree.NodeID, k),
+		explored:      make([]bool, t.N()),
+		exploredCount: 1,
+		nextKid:       make([]int32, t.N()),
+		reservedRound: make([]int32, t.N()),
+		reservedCount: make([]int32, t.N()),
+		metrics:       newMetrics(k),
+	}
+	for i := range w.reservedRound {
+		w.reservedRound[i] = -1
+	}
+	w.explored[tree.Root] = true
+	w.metrics.DiscoveredEdges = t.NumChildren(tree.Root)
+	w.view = &View{w: w}
+	return w, nil
+}
+
+// K reports the number of robots.
+func (w *World) K() int { return w.k }
+
+// Round reports the index of the round currently being decided (0-based).
+func (w *World) Round() int { return w.round }
+
+// View returns the online view handed to algorithms.
+func (w *World) View() *View { return w.view }
+
+// FullyExplored reports whether every node has been explored.
+func (w *World) FullyExplored() bool { return w.exploredCount == w.t.N() }
+
+// AllAtRoot reports whether every robot is at the root.
+func (w *World) AllAtRoot() bool {
+	for _, p := range w.pos {
+		if p != tree.Root {
+			return false
+		}
+	}
+	return true
+}
+
+// Metrics returns a copy of the accumulated metrics.
+func (w *World) Metrics() Metrics { return w.metrics.clone() }
+
+// Tree exposes the hidden tree for test assertions. Algorithms must not call
+// this; it exists so that harnesses can validate outcomes.
+func (w *World) Tree() *tree.Tree { return w.t }
+
+// ExploredCount reports the number of explored nodes.
+func (w *World) ExploredCount() int { return w.exploredCount }
+
+// danglingAt reports the number of dangling edges at v (v must be explored).
+func (w *World) danglingAt(v tree.NodeID) int {
+	return w.t.NumChildren(v) - int(w.nextKid[v])
+}
+
+func (w *World) reservedThisRound(v tree.NodeID) int {
+	if int(w.reservedRound[v]) != w.round {
+		return 0
+	}
+	return int(w.reservedCount[v])
+}
+
+// reserveDangling reserves the next dangling edge at v for this round.
+func (w *World) reserveDangling(v tree.NodeID) (Ticket, bool) {
+	if !w.explored[v] {
+		return Ticket{}, false
+	}
+	idx := int(w.nextKid[v]) + w.reservedThisRound(v)
+	if idx >= w.t.NumChildren(v) {
+		return Ticket{}, false
+	}
+	if int(w.reservedRound[v]) != w.round {
+		w.reservedRound[v] = int32(w.round)
+		w.reservedCount[v] = 0
+	}
+	w.reservedCount[v]++
+	return Ticket{from: v, child: w.t.Children(v)[idx], round: w.round}, true
+}
+
+// Apply executes one synchronous round. moves must contain exactly one move
+// per robot. It returns the explore events of the round and whether any robot
+// changed position. Errors indicate illegal moves (algorithm bugs) and leave
+// the world in an unspecified state.
+func (w *World) Apply(moves []Move) ([]ExploreEvent, bool, error) {
+	if len(moves) != w.k {
+		return nil, false, fmt.Errorf("sim: round %d: got %d moves for %d robots", w.round, len(moves), w.k)
+	}
+	var events []ExploreEvent
+	anyMoved := false
+	anyStill := false
+	for i, m := range moves {
+		from := w.pos[i]
+		switch m.Kind {
+		case Stay:
+			anyStill = true
+		case Up:
+			if from == tree.Root {
+				return nil, false, fmt.Errorf("sim: round %d: robot %d moves up from root", w.round, i)
+			}
+			w.pos[i] = w.t.Parent(from)
+			w.metrics.addMove(i)
+			anyMoved = true
+		case Down:
+			if m.Child < 0 || int(m.Child) >= w.t.N() || w.t.Parent(m.Child) != from {
+				return nil, false, fmt.Errorf("sim: round %d: robot %d: %d is not a child of %d", w.round, i, m.Child, from)
+			}
+			if !w.explored[m.Child] {
+				return nil, false, fmt.Errorf("sim: round %d: robot %d: Down to unexplored child %d", w.round, i, m.Child)
+			}
+			w.pos[i] = m.Child
+			w.metrics.addMove(i)
+			anyMoved = true
+		case Explore:
+			tk := m.Ticket
+			if tk.round != w.round {
+				return nil, false, fmt.Errorf("sim: round %d: robot %d: stale ticket from round %d", w.round, i, tk.round)
+			}
+			if tk.from != from {
+				return nil, false, fmt.Errorf("sim: round %d: robot %d at %d uses ticket issued at %d", w.round, i, from, tk.from)
+			}
+			if w.explored[tk.child] {
+				// The ticket was issued this round (checked above), so the
+				// edge was dangling when the round started: another robot
+				// sharing the ticket discovered it first. Co-traversal of a
+				// dangling edge by a group is legal in the model (CTE relies
+				// on it); only the first robot triggers the explore event.
+				w.pos[i] = tk.child
+				w.metrics.addMove(i)
+				anyMoved = true
+				continue
+			}
+			w.explored[tk.child] = true
+			w.exploredCount++
+			w.nextKid[from]++
+			w.pos[i] = tk.child
+			w.metrics.addMove(i)
+			w.metrics.EdgeExplorations++
+			w.metrics.DiscoveredEdges += w.t.NumChildren(tk.child)
+			events = append(events, ExploreEvent{
+				Parent:      from,
+				Child:       tk.child,
+				Robot:       i,
+				NewDangling: w.t.NumChildren(tk.child),
+			})
+			anyMoved = true
+		default:
+			return nil, false, fmt.Errorf("sim: round %d: robot %d: invalid move kind %d", w.round, i, m.Kind)
+		}
+	}
+	w.round++
+	w.metrics.TotalRounds++
+	if anyMoved {
+		w.metrics.Rounds++
+		if anyStill {
+			w.metrics.StillRobotRounds++
+		}
+	}
+	return events, anyMoved, nil
+}
+
+// Algorithm is a complete-communication collaborative exploration algorithm:
+// once per round it maps the current online view to one move per robot.
+// Implementations receive explore events from the previous round so they can
+// maintain incremental state.
+type Algorithm interface {
+	SelectMoves(v *View, prev []ExploreEvent) ([]Move, error)
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Metrics
+	FullyExplored bool
+	AllAtRoot     bool
+}
+
+// ErrRoundLimit is returned by Run when the algorithm exceeds the safety cap.
+var ErrRoundLimit = errors.New("sim: round limit exceeded")
+
+// Run drives the algorithm until a round in which no robot moves (the
+// termination condition of Algorithm 1) or until maxRounds rounds have
+// elapsed. maxRounds ≤ 0 selects the cap 3·D·n + 2·D + 4 implied by the
+// paper's termination argument.
+func Run(w *World, a Algorithm, maxRounds int64) (Result, error) {
+	if maxRounds <= 0 {
+		n, d := int64(w.t.N()), int64(w.t.Depth())
+		maxRounds = 3*n*d + 2*d + 4
+	}
+	var events []ExploreEvent
+	for r := int64(0); r < maxRounds; r++ {
+		moves, err := a.SelectMoves(w.view, events)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: round %d: %w", w.round, err)
+		}
+		ev, anyMoved, err := w.Apply(moves)
+		if err != nil {
+			return Result{}, err
+		}
+		events = ev
+		if !anyMoved {
+			return Result{
+				Metrics:       w.Metrics(),
+				FullyExplored: w.FullyExplored(),
+				AllAtRoot:     w.AllAtRoot(),
+			}, nil
+		}
+	}
+	return Result{}, fmt.Errorf("%w (%d rounds, %s)", ErrRoundLimit, maxRounds, w.t)
+}

@@ -1,0 +1,115 @@
+// Package table renders small aligned text tables and CSV for the
+// experiment harness.
+package table
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table with the given title and column names.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; values are rendered with %v, floats with 1 decimal.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = format(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func format(c interface{}) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(v), 'f', 1, 32)
+	case int:
+		return strconv.Itoa(v)
+	case int64:
+		return strconv.FormatInt(v, 10)
+	case bool:
+		return strconv.FormatBool(v)
+	default:
+		return fmt.Sprintf("%v", c)
+	}
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (fields containing commas
+// or quotes are quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteString(strconv.Quote(c))
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("x", 1)
+	tb.AddRow("longer-name", 123456)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// All data lines equal width.
+	if len(lines[2]) != len(strings.TrimRight(lines[3], " ")) && !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator misaligned: %q", lines[2])
+	}
+	if !strings.Contains(lines[4], "123456") {
+		t.Errorf("missing cell: %q", lines[4])
+	}
+}
+
+func TestFormatKinds(t *testing.T) {
+	tb := New("", "a", "b", "c", "d", "e")
+	tb.AddRow("s", 3, int64(4), 2.5, true)
+	out := tb.Render()
+	for _, want := range []string{"s", "3", "4", "2.5", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRow("x,y", 2)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",2\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("empty", "only")
+	out := tb.Render()
+	if !strings.Contains(out, "only") {
+		t.Errorf("header missing: %q", out)
+	}
+}

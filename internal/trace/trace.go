@@ -1,0 +1,144 @@
+// Package trace records and renders exploration runs: per-round robot
+// positions, the exploration progress curve, and an ASCII rendering of
+// small trees with robot markers — the debugging and demo layer used by
+// cmd/bfdnsim -trace and examples/visualize.
+package trace
+
+import (
+	"strconv"
+	"strings"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// Frame is the state at the start of one round.
+type Frame struct {
+	Round     int
+	Positions []tree.NodeID
+	Explored  int
+}
+
+// Recorder wraps a sim.Algorithm and snapshots a Frame before every round.
+// It also records, per node, the round at which the node was explored, so
+// frames can be re-rendered with historically accurate explored markers.
+type Recorder struct {
+	inner  sim.Algorithm
+	Frames []Frame
+	// Every limits recording to one frame per Every rounds (default 1).
+	Every int
+	// exploredAt[v] is the round at the start of which v was already
+	// explored (the root at 0).
+	exploredAt map[tree.NodeID]int
+}
+
+var _ sim.Algorithm = (*Recorder)(nil)
+
+// NewRecorder wraps inner.
+func NewRecorder(inner sim.Algorithm) *Recorder {
+	return &Recorder{
+		inner:      inner,
+		Every:      1,
+		exploredAt: map[tree.NodeID]int{tree.Root: 0},
+	}
+}
+
+// SelectMoves implements sim.Algorithm.
+func (r *Recorder) SelectMoves(v *sim.View, events []sim.ExploreEvent) ([]sim.Move, error) {
+	for _, e := range events {
+		r.exploredAt[e.Child] = v.Round()
+	}
+	if r.Every <= 1 || v.Round()%r.Every == 0 {
+		r.Frames = append(r.Frames, Frame{
+			Round:     v.Round(),
+			Positions: v.Positions(nil),
+			Explored:  v.ExploredCount(),
+		})
+	}
+	return r.inner.SelectMoves(v, events)
+}
+
+// ExploredBy reports whether node v was explored at the start of the given
+// round.
+func (r *Recorder) ExploredBy(v tree.NodeID, round int) bool {
+	at, ok := r.exploredAt[v]
+	return ok && at <= round
+}
+
+// ProgressCurve returns the explored-node counts of the recorded frames.
+func (r *Recorder) ProgressCurve() []int {
+	out := make([]int, len(r.Frames))
+	for i, f := range r.Frames {
+		out[i] = f.Explored
+	}
+	return out
+}
+
+// RenderTree draws the tree as an indented outline with per-node markers:
+// '*' for explored nodes, '.' for hidden ones, and the list of robots
+// standing there. Intended for trees of at most a few hundred nodes.
+func RenderTree(t *tree.Tree, f Frame, explored func(tree.NodeID) bool) string {
+	robotsAt := make(map[tree.NodeID][]int)
+	for i, p := range f.Positions {
+		robotsAt[p] = append(robotsAt[p], i)
+	}
+	var sb strings.Builder
+	var walk func(v tree.NodeID, depth int)
+	walk = func(v tree.NodeID, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		if explored == nil || explored(v) {
+			sb.WriteByte('*')
+		} else {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(strconv.Itoa(int(v)))
+		if robots := robotsAt[v]; len(robots) > 0 {
+			sb.WriteString(" <-[")
+			for j, rb := range robots {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString("R" + strconv.Itoa(rb))
+			}
+			sb.WriteByte(']')
+		}
+		sb.WriteByte('\n')
+		for _, c := range t.Children(v) {
+			walk(c, depth+1)
+		}
+	}
+	walk(tree.Root, 0)
+	return sb.String()
+}
+
+// Sparkline renders a numeric series as a one-line bar chart of the given
+// width, scaled to the series maximum.
+func Sparkline(series []int, width int) string {
+	if len(series) == 0 || width < 1 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	maxVal := 1
+	for _, v := range series {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	var sb strings.Builder
+	for c := 0; c < width; c++ {
+		idx := c * (len(series) - 1) / max(1, width-1)
+		v := series[idx]
+		lvl := v * (len(levels) - 1) / maxVal
+		sb.WriteRune(levels[lvl])
+	}
+	return sb.String()
+}
+
+// DepthHistogram counts robots per depth in a frame.
+func DepthHistogram(t *tree.Tree, f Frame) []int {
+	hist := make([]int, t.Depth()+1)
+	for _, p := range f.Positions {
+		hist[t.DepthOf(p)]++
+	}
+	return hist
+}

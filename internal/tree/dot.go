@@ -1,0 +1,37 @@
+package tree
+
+import (
+	"strconv"
+	"strings"
+)
+
+// DOT renders the tree in Graphviz dot format. highlight marks a set of
+// nodes (e.g. robot positions or an anchor set) with a filled style; nil
+// highlights nothing. Intended for small trees and debugging sessions:
+//
+//	dot -Tpng out.dot -o out.png
+func DOT(t *Tree, name string, highlight map[NodeID]bool) string {
+	var sb strings.Builder
+	sb.WriteString("digraph ")
+	sb.WriteString(strconv.Quote(name))
+	sb.WriteString(" {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n")
+	for v := NodeID(0); int(v) < t.N(); v++ {
+		sb.WriteString("  n")
+		sb.WriteString(strconv.Itoa(int(v)))
+		if highlight[v] {
+			sb.WriteString(" [style=filled, fillcolor=lightblue]")
+		}
+		sb.WriteString(";\n")
+	}
+	for v := NodeID(0); int(v) < t.N(); v++ {
+		for _, c := range t.Children(v) {
+			sb.WriteString("  n")
+			sb.WriteString(strconv.Itoa(int(v)))
+			sb.WriteString(" -> n")
+			sb.WriteString(strconv.Itoa(int(c)))
+			sb.WriteString(";\n")
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

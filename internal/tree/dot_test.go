@@ -1,0 +1,35 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddChild(Root)
+	b.AddChild(Root)
+	b.AddChild(a)
+	tr := b.Build()
+
+	out := DOT(tr, "demo", map[NodeID]bool{a: true})
+	for _, want := range []string{
+		`digraph "demo"`,
+		"n0 -> n1;",
+		"n0 -> n2;",
+		"n1 -> n3;",
+		"n1 [style=filled",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly n−1 edges.
+	if got := strings.Count(out, "->"); got != tr.Edges() {
+		t.Errorf("edge lines = %d, want %d", got, tr.Edges())
+	}
+	// No highlight → no filled nodes.
+	if strings.Contains(DOT(tr, "x", nil), "filled") {
+		t.Error("unexpected highlight")
+	}
+}

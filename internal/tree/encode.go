@@ -1,0 +1,44 @@
+package tree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Encode serializes the tree as a compact newick-free text form: a
+// space-separated list of parent ids in topological order, with -1 for the
+// root. The format round-trips through Decode and is stable across runs,
+// which makes it suitable for golden-test fixtures.
+func Encode(t *Tree) string {
+	var sb strings.Builder
+	sb.Grow(t.N() * 3)
+	for i, p := range t.parent {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(int(p)))
+	}
+	return sb.String()
+}
+
+// Decode parses the output of Encode.
+func Decode(s string) (*Tree, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("tree: decode: empty input")
+	}
+	parents := make([]int32, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("tree: decode field %d: %w", i, err)
+		}
+		parents[i] = int32(v)
+	}
+	t, err := FromParents(parents)
+	if err != nil {
+		return nil, fmt.Errorf("tree: decode: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,277 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the tree families used by the paper's analysis and by
+// our experiments. Every generator documents the (n, D, Δ) parameters of the
+// tree it returns; tests verify these claims.
+
+// Path returns a path with n nodes (depth n-1). n must be ≥ 1.
+func Path(n int) *Tree {
+	b := NewBuilder()
+	b.AddPath(Root, n-1)
+	return b.Build()
+}
+
+// Star returns a star with n nodes: the root plus n-1 leaf children
+// (depth 1, Δ = n-1). n must be ≥ 1.
+func Star(n int) *Tree {
+	b := NewBuilder()
+	for i := 1; i < n; i++ {
+		b.AddChild(Root)
+	}
+	return b.Build()
+}
+
+// KAry returns the complete k-ary tree of the given depth: every internal
+// node has exactly branch children, all leaves at the given depth.
+// n = (branch^(depth+1)-1)/(branch-1) for branch ≥ 2.
+func KAry(branch, depth int) *Tree {
+	b := NewBuilder()
+	frontier := []NodeID{Root}
+	for d := 0; d < depth; d++ {
+		next := make([]NodeID, 0, len(frontier)*branch)
+		for _, v := range frontier {
+			for j := 0; j < branch; j++ {
+				next = append(next, b.AddChild(v))
+			}
+		}
+		frontier = next
+	}
+	return b.Build()
+}
+
+// Spider returns a spider: legs paths of length legLen hanging off the root.
+// n = 1 + legs*legLen, D = legLen, Δ = legs (for legs ≥ 2).
+func Spider(legs, legLen int) *Tree {
+	b := NewBuilder()
+	for i := 0; i < legs; i++ {
+		b.AddPath(Root, legLen)
+	}
+	return b.Build()
+}
+
+// Comb returns a comb: a spine path of spineLen edges where every spine node
+// (including the root) carries a tooth path of toothLen edges.
+// n = (spineLen+1)*(toothLen+1), D = spineLen + toothLen.
+func Comb(spineLen, toothLen int) *Tree {
+	b := NewBuilder()
+	v := Root
+	b.AddPath(v, toothLen)
+	for i := 0; i < spineLen; i++ {
+		v = b.AddChild(v)
+		b.AddPath(v, toothLen)
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a spine path of spineLen edges where every spine node
+// carries leavesPer leaf children. n = (spineLen+1)*(leavesPer+1) - leavesPer... .
+func Caterpillar(spineLen, leavesPer int) *Tree {
+	b := NewBuilder()
+	v := Root
+	for j := 0; j < leavesPer; j++ {
+		b.AddChild(v)
+	}
+	for i := 0; i < spineLen; i++ {
+		v = b.AddChild(v)
+		for j := 0; j < leavesPer; j++ {
+			b.AddChild(v)
+		}
+	}
+	return b.Build()
+}
+
+// Broom returns a handle path of handleLen edges ending in bristles leaf
+// children. D = handleLen + 1 (for bristles ≥ 1), n = handleLen + bristles + 1.
+func Broom(handleLen, bristles int) *Tree {
+	b := NewBuilder()
+	end := b.AddPath(Root, handleLen)
+	for i := 0; i < bristles; i++ {
+		b.AddChild(end)
+	}
+	return b.Build()
+}
+
+// Random returns a uniformly grown random tree with exactly n nodes and depth
+// exactly min(maxDepth, n-1): it first builds a spine realizing the target
+// depth, then attaches each remaining node to a uniformly random node of
+// depth < maxDepth. The result is deterministic given rng's state.
+func Random(n, maxDepth int, rng *rand.Rand) *Tree {
+	if maxDepth > n-1 {
+		maxDepth = n - 1
+	}
+	if maxDepth < 0 {
+		maxDepth = 0
+	}
+	b := NewBuilder()
+	// Spine realizing the target depth.
+	eligible := make([]NodeID, 0, n)
+	eligible = append(eligible, Root)
+	v := Root
+	for i := 0; i < maxDepth; i++ {
+		v = b.AddChild(v)
+		if b.Depth(v) < maxDepth {
+			eligible = append(eligible, v)
+		}
+	}
+	for b.Len() < n {
+		p := eligible[rng.Intn(len(eligible))]
+		c := b.AddChild(p)
+		if b.Depth(c) < maxDepth {
+			eligible = append(eligible, c)
+		}
+	}
+	return b.Build()
+}
+
+// RandomBinary returns a random binary tree with n nodes grown by attaching
+// each new node to a uniformly random node that still has fewer than two
+// children (fewer than three for the root's arity budget of two).
+func RandomBinary(n int, rng *rand.Rand) *Tree {
+	b := NewBuilder()
+	open := []NodeID{Root, Root} // each entry is one free child slot
+	for b.Len() < n {
+		i := rng.Intn(len(open))
+		p := open[i]
+		open[i] = open[len(open)-1]
+		open = open[:len(open)-1]
+		c := b.AddChild(p)
+		open = append(open, c, c)
+	}
+	return b.Build()
+}
+
+// UnevenPaths returns the CTE-adversarial family inspired by Higashikawa et
+// al. [11]: a complete binary tree with k leaves (k a power of two is not
+// required; the split tree has ceil(log2 k) levels) where leaf i carries a
+// path of length roughly D*(i+1)/k. Robot groups running CTE split evenly at
+// the binary levels and then finish their paths at staggered times, paying
+// relocation costs. Depth ≤ D + ceil(log2 k).
+func UnevenPaths(k, totalDepth int) *Tree {
+	if k < 1 {
+		k = 1
+	}
+	b := NewBuilder()
+	levels := 0
+	for 1<<levels < k {
+		levels++
+	}
+	frontier := []NodeID{Root}
+	for d := 0; d < levels; d++ {
+		next := make([]NodeID, 0, len(frontier)*2)
+		for _, v := range frontier {
+			next = append(next, b.AddChild(v), b.AddChild(v))
+		}
+		frontier = next
+	}
+	pathBudget := totalDepth - levels
+	if pathBudget < 1 {
+		pathBudget = 1
+	}
+	for i, v := range frontier {
+		length := pathBudget * (i + 1) / len(frontier)
+		if length < 1 {
+			length = 1
+		}
+		b.AddPath(v, length)
+	}
+	return b.Build()
+}
+
+// Family identifies a named tree family for table output and sweeps.
+type Family string
+
+// The named families used across experiments.
+const (
+	FamilyPath        Family = "path"
+	FamilyStar        Family = "star"
+	FamilyBinary      Family = "binary"
+	FamilyTernary     Family = "ternary"
+	FamilySpider      Family = "spider"
+	FamilyComb        Family = "comb"
+	FamilyCaterpillar Family = "caterpillar"
+	FamilyBroom       Family = "broom"
+	FamilyRandom      Family = "random"
+	FamilyRandomBin   Family = "randbinary"
+	FamilyUneven      Family = "uneven"
+)
+
+// Families lists all named families in a stable order.
+func Families() []Family {
+	return []Family{
+		FamilyPath, FamilyStar, FamilyBinary, FamilyTernary, FamilySpider,
+		FamilyComb, FamilyCaterpillar, FamilyBroom, FamilyRandom,
+		FamilyRandomBin, FamilyUneven,
+	}
+}
+
+// Generate builds a member of the named family with approximately n nodes and
+// target depth d (families that cannot honour both honour n first). The rng
+// is only used by random families. It returns an error for unknown families
+// or impossible parameters.
+func Generate(f Family, n, d int, rng *rand.Rand) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tree: family %q needs n ≥ 1, got %d", f, n)
+	}
+	if d < 0 {
+		return nil, fmt.Errorf("tree: family %q needs d ≥ 0, got %d", f, d)
+	}
+	switch f {
+	case FamilyPath:
+		return Path(n), nil
+	case FamilyStar:
+		return Star(n), nil
+	case FamilyBinary:
+		return kAryWithNodes(2, n), nil
+	case FamilyTernary:
+		return kAryWithNodes(3, n), nil
+	case FamilySpider:
+		legLen := max(1, d)
+		legs := max(1, (n-1)/legLen)
+		return Spider(legs, legLen), nil
+	case FamilyComb:
+		tooth := max(1, d/2)
+		spine := max(1, n/(tooth+1)-1)
+		return Comb(spine, tooth), nil
+	case FamilyCaterpillar:
+		spine := max(1, d)
+		leaves := max(1, (n-spine-1)/(spine+1))
+		return Caterpillar(spine, leaves), nil
+	case FamilyBroom:
+		handle := max(1, d-1)
+		return Broom(handle, max(1, n-handle-1)), nil
+	case FamilyRandom:
+		if rng == nil {
+			return nil, fmt.Errorf("tree: family %q needs an rng", f)
+		}
+		return Random(n, d, rng), nil
+	case FamilyRandomBin:
+		if rng == nil {
+			return nil, fmt.Errorf("tree: family %q needs an rng", f)
+		}
+		return RandomBinary(n, rng), nil
+	case FamilyUneven:
+		k := max(2, n/max(1, d))
+		return UnevenPaths(k, d), nil
+	default:
+		return nil, fmt.Errorf("tree: unknown family %q", f)
+	}
+}
+
+// kAryWithNodes builds a breadth-first-filled k-ary tree with exactly n nodes.
+func kAryWithNodes(branch, n int) *Tree {
+	b := NewBuilder()
+	queue := []NodeID{Root}
+	for b.Len() < n {
+		v := queue[0]
+		queue = queue[1:]
+		for j := 0; j < branch && b.Len() < n; j++ {
+			queue = append(queue, b.AddChild(v))
+		}
+	}
+	return b.Build()
+}

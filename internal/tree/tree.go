@@ -1,0 +1,321 @@
+// Package tree provides the rooted-tree substrate used throughout the BFDN
+// reproduction: an immutable rooted tree with port-numbered adjacency,
+// generators for the tree families the paper's analysis distinguishes, and
+// small utilities (LCA, root paths, encodings) shared by the simulator and
+// the algorithms.
+//
+// Conventions follow the paper (Cosson, Massoulié, Viennot 2023): trees are
+// rooted, δ(v) is the distance of v to the root, D = max_v δ(v) is the depth,
+// and Δ is the maximum degree. At every node other than the root, port 0
+// leads to the parent (§4.1 of the paper); ports 1..deg-1 lead to children in
+// construction order. At the root, ports 0..deg-1 all lead to children.
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node of a Tree. IDs are dense: a tree with n nodes uses
+// IDs 0..n-1, and the root is always node 0.
+type NodeID int32
+
+// Nil is the sentinel "no node" value (e.g. the parent of the root).
+const Nil NodeID = -1
+
+// Root is the NodeID of the root of every Tree.
+const Root NodeID = 0
+
+// Tree is an immutable rooted tree. Construct one with a Builder or
+// FromParents; the zero value is not usable.
+type Tree struct {
+	parent   []NodeID
+	children [][]NodeID
+	depth    []int32
+	maxDepth int
+	maxDeg   int
+}
+
+// Builder incrementally constructs a Tree. The zero value is a builder whose
+// tree already contains the root.
+type Builder struct {
+	parent   []NodeID
+	children [][]NodeID
+	depth    []int32
+}
+
+// NewBuilder returns a Builder holding a single root node.
+func NewBuilder() *Builder {
+	return &Builder{
+		parent:   []NodeID{Nil},
+		children: [][]NodeID{nil},
+		depth:    []int32{0},
+	}
+}
+
+// Len reports the number of nodes added so far (including the root).
+func (b *Builder) Len() int { return len(b.parent) }
+
+// Depth reports the depth of node v in the tree under construction.
+func (b *Builder) Depth(v NodeID) int { return int(b.depth[v]) }
+
+// AddChild appends a new child to parent and returns its NodeID.
+func (b *Builder) AddChild(parent NodeID) NodeID {
+	id := NodeID(len(b.parent))
+	b.parent = append(b.parent, parent)
+	b.children = append(b.children, nil)
+	b.depth = append(b.depth, b.depth[parent]+1)
+	b.children[parent] = append(b.children[parent], id)
+	return id
+}
+
+// AddPath appends a path of length steps below parent and returns the NodeID
+// of the final node. AddPath(v, 0) returns v.
+func (b *Builder) AddPath(parent NodeID, steps int) NodeID {
+	v := parent
+	for i := 0; i < steps; i++ {
+		v = b.AddChild(v)
+	}
+	return v
+}
+
+// Build freezes the builder into an immutable Tree. The builder must not be
+// used afterwards.
+func (b *Builder) Build() *Tree {
+	t := &Tree{parent: b.parent, children: b.children, depth: b.depth}
+	for v := range t.parent {
+		if int(t.depth[v]) > t.maxDepth {
+			t.maxDepth = int(t.depth[v])
+		}
+		deg := len(t.children[v])
+		if NodeID(v) != Root {
+			deg++ // edge to parent
+		}
+		if deg > t.maxDeg {
+			t.maxDeg = deg
+		}
+	}
+	b.parent, b.children, b.depth = nil, nil, nil
+	return t
+}
+
+// FromParents builds a Tree from a parent array: parents[0] must be -1 (the
+// root) and parents[v] must be a valid node id < v for all other v, i.e. the
+// array must be topologically ordered. Children keep index order.
+func FromParents(parents []int32) (*Tree, error) {
+	if len(parents) == 0 {
+		return nil, errors.New("tree: empty parent array")
+	}
+	if parents[0] != int32(Nil) {
+		return nil, fmt.Errorf("tree: parents[0] = %d, want -1", parents[0])
+	}
+	b := NewBuilder()
+	for v := 1; v < len(parents); v++ {
+		p := parents[v]
+		if p < 0 || int(p) >= v {
+			return nil, fmt.Errorf("tree: parents[%d] = %d out of range [0,%d)", v, p, v)
+		}
+		b.AddChild(NodeID(p))
+	}
+	return b.Build(), nil
+}
+
+// N reports the number of nodes.
+func (t *Tree) N() int { return len(t.parent) }
+
+// Edges reports the number of edges, n-1.
+func (t *Tree) Edges() int { return len(t.parent) - 1 }
+
+// Depth reports the tree depth D = max_v δ(v).
+func (t *Tree) Depth() int { return t.maxDepth }
+
+// MaxDegree reports Δ, the maximum degree over all nodes (counting the parent
+// edge for non-root nodes).
+func (t *Tree) MaxDegree() int { return t.maxDeg }
+
+// Parent returns the parent of v, or Nil for the root.
+func (t *Tree) Parent(v NodeID) NodeID { return t.parent[v] }
+
+// Children returns the children of v in port order. The returned slice is
+// shared with the tree and must not be modified.
+func (t *Tree) Children(v NodeID) []NodeID { return t.children[v] }
+
+// NumChildren reports the number of children of v.
+func (t *Tree) NumChildren(v NodeID) int { return len(t.children[v]) }
+
+// DepthOf reports δ(v), the distance from v to the root.
+func (t *Tree) DepthOf(v NodeID) int { return int(t.depth[v]) }
+
+// Degree reports the degree of v (children plus the parent edge, if any).
+func (t *Tree) Degree(v NodeID) int {
+	d := len(t.children[v])
+	if v != Root {
+		d++
+	}
+	return d
+}
+
+// PortToward returns, at node v, the port number whose edge leads to the
+// neighbour u. Ports follow the paper's §4.1 convention: at a non-root node
+// port 0 leads to the parent and port i (i ≥ 1) to the i-th child; at the
+// root port i leads to the i-th child. It returns -1 if u is not adjacent
+// to v.
+func (t *Tree) PortToward(v, u NodeID) int {
+	if v != Root && t.parent[v] == u {
+		return 0
+	}
+	for i, c := range t.children[v] {
+		if c == u {
+			if v == Root {
+				return i
+			}
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// NeighborAtPort returns the neighbour of v reached through port p, or Nil if
+// the port does not exist.
+func (t *Tree) NeighborAtPort(v NodeID, p int) NodeID {
+	if v != Root {
+		if p == 0 {
+			return t.parent[v]
+		}
+		p--
+	}
+	if p < 0 || p >= len(t.children[v]) {
+		return Nil
+	}
+	return t.children[v][p]
+}
+
+// PathFromRoot returns the node sequence root..v inclusive.
+func (t *Tree) PathFromRoot(v NodeID) []NodeID {
+	path := make([]NodeID, t.depth[v]+1)
+	for i := int(t.depth[v]); i >= 0; i-- {
+		path[i] = v
+		v = t.parent[v]
+	}
+	return path
+}
+
+// LCA returns the lowest common ancestor of u and v.
+func (t *Tree) LCA(u, v NodeID) NodeID {
+	for t.depth[u] > t.depth[v] {
+		u = t.parent[u]
+	}
+	for t.depth[v] > t.depth[u] {
+		v = t.parent[v]
+	}
+	for u != v {
+		u, v = t.parent[u], t.parent[v]
+	}
+	return u
+}
+
+// Dist returns the number of edges on the path between u and v.
+func (t *Tree) Dist(u, v NodeID) int {
+	l := t.LCA(u, v)
+	return int(t.depth[u]+t.depth[v]) - 2*int(t.depth[l])
+}
+
+// IsAncestor reports whether a is an ancestor of v (or equals v).
+func (t *Tree) IsAncestor(a, v NodeID) bool {
+	for t.depth[v] > t.depth[a] {
+		v = t.parent[v]
+	}
+	return v == a
+}
+
+// SubtreeSize returns the number of nodes in T(v), including v, by walking
+// the subtree. O(|T(v)|).
+func (t *Tree) SubtreeSize(v NodeID) int {
+	count := 0
+	stack := []NodeID{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		stack = append(stack, t.children[u]...)
+	}
+	return count
+}
+
+// Validate performs internal-consistency checks and returns an error
+// describing the first violation found, if any. It is O(n) and intended for
+// tests and for validating decoded trees.
+func (t *Tree) Validate() error {
+	n := len(t.parent)
+	if n == 0 {
+		return errors.New("tree: no nodes")
+	}
+	if t.parent[Root] != Nil {
+		return errors.New("tree: root has a parent")
+	}
+	seen := make([]bool, n)
+	for v := 1; v < n; v++ {
+		p := t.parent[v]
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("tree: node %d has invalid parent %d", v, p)
+		}
+		if t.depth[v] != t.depth[p]+1 {
+			return fmt.Errorf("tree: node %d depth %d, parent depth %d", v, t.depth[v], t.depth[p])
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, c := range t.children[v] {
+			if t.parent[c] != NodeID(v) {
+				return fmt.Errorf("tree: child list of %d contains %d whose parent is %d", v, c, t.parent[c])
+			}
+			if seen[c] {
+				return fmt.Errorf("tree: node %d appears in two child lists", c)
+			}
+			seen[c] = true
+		}
+	}
+	for v := 1; v < n; v++ {
+		if !seen[v] {
+			return fmt.Errorf("tree: node %d missing from its parent's child list", v)
+		}
+	}
+	return nil
+}
+
+// Parents returns a copy of the parent array (parents[0] == -1), the inverse
+// of FromParents.
+func (t *Tree) Parents() []int32 {
+	out := make([]int32, len(t.parent))
+	for i, p := range t.parent {
+		out[i] = int32(p)
+	}
+	return out
+}
+
+// Stats summarizes the parameters the paper's bounds depend on.
+type Stats struct {
+	N        int // number of nodes
+	Depth    int // D
+	MaxDeg   int // Δ
+	Leaves   int
+	AvgDepth float64
+}
+
+// Stats computes summary statistics in O(n).
+func (t *Tree) Stats() Stats {
+	s := Stats{N: t.N(), Depth: t.Depth(), MaxDeg: t.MaxDegree()}
+	var sum int64
+	for v := 0; v < t.N(); v++ {
+		if len(t.children[v]) == 0 {
+			s.Leaves++
+		}
+		sum += int64(t.depth[v])
+	}
+	s.AvgDepth = float64(sum) / float64(t.N())
+	return s
+}
+
+// String returns a short human-readable summary.
+func (t *Tree) String() string {
+	return fmt.Sprintf("tree{n=%d D=%d Δ=%d}", t.N(), t.Depth(), t.MaxDegree())
+}

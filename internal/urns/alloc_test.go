@@ -1,0 +1,90 @@
+package urns
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAllocateErrors(t *testing.T) {
+	if _, err := Allocate(nil); err == nil {
+		t.Error("no tasks accepted")
+	}
+	if _, err := Allocate([]int{3, 0}); err == nil {
+		t.Error("zero-length task accepted")
+	}
+}
+
+func TestAllocateSingleTask(t *testing.T) {
+	res, err := Allocate([]int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 10 || res.Reassignments != 0 {
+		t.Errorf("got %+v, want makespan 10, 0 reassignments", res)
+	}
+}
+
+func TestAllocateEqualTasksNoSwitches(t *testing.T) {
+	res, err := Allocate([]int{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reassignments != 0 {
+		t.Errorf("equal tasks caused %d reassignments", res.Reassignments)
+	}
+	if res.Makespan != 5 {
+		t.Errorf("makespan = %d, want 5", res.Makespan)
+	}
+}
+
+func TestAllocateReassignmentBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{2, 8, 64, 256} {
+		for trial := 0; trial < 5; trial++ {
+			lengths := make([]int, k)
+			for i := range lengths {
+				lengths[i] = 1 + rng.Intn(1000)
+			}
+			res, err := Allocate(lengths)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(res.Reassignments) > AllocateBound(k) {
+				t.Errorf("k=%d: %d reassignments exceed bound %.1f",
+					k, res.Reassignments, AllocateBound(k))
+			}
+		}
+	}
+}
+
+func TestAllocateAdversarialGeometricLengths(t *testing.T) {
+	// Geometric lengths drive many reassignment waves — the hard case.
+	k := 128
+	lengths := make([]int, k)
+	for i := range lengths {
+		lengths[i] = 1 << uint(i%14)
+	}
+	res, err := Allocate(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Reassignments) > AllocateBound(k) {
+		t.Errorf("%d reassignments exceed bound %.1f", res.Reassignments, AllocateBound(k))
+	}
+	if res.Reassignments == 0 {
+		t.Error("geometric lengths caused no reassignments at all")
+	}
+}
+
+func TestAllocateMakespanSpeedup(t *testing.T) {
+	// One long task plus many short ones: reassignment parallelizes the long
+	// one, so makespan ≪ the long task's solo length.
+	lengths := []int{10000, 1, 1, 1, 1, 1, 1, 1}
+	res, err := Allocate(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan > 10000/8+16 {
+		t.Errorf("makespan %d: workers were not reassigned to the long task", res.Makespan)
+	}
+}

@@ -1,0 +1,117 @@
+package bfdn
+
+import (
+	"fmt"
+
+	"bfdn/internal/core"
+	"bfdn/internal/cte"
+	"bfdn/internal/levelwise"
+	"bfdn/internal/offline"
+	"bfdn/internal/recursive"
+	"bfdn/internal/sim"
+	"bfdn/internal/trace"
+	"bfdn/internal/tree"
+)
+
+// Trace holds a recorded exploration run for inspection and rendering.
+type Trace struct {
+	rec *trace.Recorder
+	t   *tree.Tree
+}
+
+// ExploreTraced is Explore with per-round recording: it additionally
+// returns a Trace of the run. every limits recording to one frame per that
+// many rounds (≤ 1 records all). Break-down schedules are not supported.
+func ExploreTraced(t *Tree, k int, every int, opts ...Option) (*Report, *Trace, error) {
+	cfg := config{alg: BFDN, ell: 2}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.schedule != nil {
+		return nil, nil, fmt.Errorf("bfdn: tracing with break-downs is not supported")
+	}
+	var inner sim.Algorithm
+	var bound float64
+	switch cfg.alg {
+	case BFDN:
+		var coreOpts []core.Option
+		if cfg.shortcut {
+			coreOpts = append(coreOpts, core.WithShortcutReanchor())
+		}
+		inner = core.NewAlgorithm(k, coreOpts...)
+		bound = Theorem1Bound(t.N(), t.Depth(), k, t.MaxDegree())
+	case BFDNRecursive:
+		a, err := recursive.NewBFDNL(k, cfg.ell)
+		if err != nil {
+			return nil, nil, err
+		}
+		inner = a
+		bound = Theorem10Bound(t.N(), t.Depth(), k, t.MaxDegree(), cfg.ell)
+	case CTE:
+		inner = cte.New(k)
+	case DFS:
+		inner = offline.DFS{}
+		bound = float64(2 * (t.N() - 1))
+	case Levelwise:
+		inner = levelwise.New(k)
+		bound = levelwise.Bound(t.N(), t.Depth(), k)
+	default:
+		return nil, nil, fmt.Errorf("bfdn: unknown algorithm %d", cfg.alg)
+	}
+	rec := trace.NewRecorder(inner)
+	if every > 1 {
+		rec.Every = every
+	}
+	w, err := sim.NewWorld(t.t, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.Run(w, rec, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		Rounds:            res.Rounds,
+		Moves:             res.Moves,
+		EdgeExplorations:  res.EdgeExplorations,
+		Bound:             bound,
+		OfflineLowerBound: OfflineLowerBound(t.N(), t.Depth(), k),
+		FullyExplored:     res.FullyExplored,
+		AllAtRoot:         res.AllAtRoot,
+	}
+	return rep, &Trace{rec: rec, t: t.t}, nil
+}
+
+// Frames reports the number of recorded frames.
+func (tr *Trace) Frames() int { return len(tr.rec.Frames) }
+
+// FrameRound reports the round index of frame i.
+func (tr *Trace) FrameRound(i int) int { return tr.rec.Frames[i].Round }
+
+// FrameExplored reports the number of explored nodes at frame i.
+func (tr *Trace) FrameExplored(i int) int { return tr.rec.Frames[i].Explored }
+
+// RenderFrame draws frame i as an indented tree with explored markers ('*'
+// explored, '.' hidden) and robot positions. Use only for small trees.
+func (tr *Trace) RenderFrame(i int) string {
+	f := tr.rec.Frames[i]
+	return trace.RenderTree(tr.t, f, func(v tree.NodeID) bool {
+		return tr.rec.ExploredBy(v, f.Round)
+	})
+}
+
+// ProgressSparkline renders the explored-over-time curve as a one-line
+// bar chart of the given width.
+func (tr *Trace) ProgressSparkline(width int) string {
+	return trace.Sparkline(tr.rec.ProgressCurve(), width)
+}
+
+// RobotDepths returns the per-robot depths at frame i.
+func (tr *Trace) RobotDepths(i int) []int {
+	f := tr.rec.Frames[i]
+	out := make([]int, len(f.Positions))
+	for j, p := range f.Positions {
+		out[j] = tr.t.DepthOf(p)
+	}
+	return out
+}
