@@ -9,6 +9,7 @@ package bfdn
 // engine micro-benchmarks (cost per explored node).
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"bfdn/internal/exp"
 	"bfdn/internal/recursive"
 	"bfdn/internal/sim"
+	"bfdn/internal/sweep"
 	"bfdn/internal/tree"
 	"bfdn/internal/urns"
 	"bfdn/internal/writeread"
@@ -174,6 +176,90 @@ func BenchmarkA2ReturnToRoot(b *testing.B) {
 	})
 }
 
+// --- sweep-engine benchmarks ---------------------------------------------
+
+// e14SweepGrid is the E14 workload as a sweep grid: 3 tree families ×
+// k ∈ {2, 8, 32, 128} × {BFDN, CTE} — the sweep the competitive-ratio
+// experiment and the k-scaling comparisons of the follow-up literature run.
+func e14SweepGrid(b *testing.B) []sweep.Point {
+	b.Helper()
+	rng := benchRng()
+	trees := []*tree.Tree{
+		tree.Random(4000, 12, rng),
+		tree.Random(1200, 60, rng),
+		tree.UnevenPaths(64, 40),
+	}
+	var pts []sweep.Point
+	for _, tr := range trees {
+		for _, k := range []int{2, 8, 32, 128} {
+			pts = append(pts,
+				sweep.Point{Tree: tr, K: k, NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
+					return core.NewAlgorithm(k)
+				}},
+				sweep.Point{Tree: tr, K: k, NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
+					return cte.New(k)
+				}})
+		}
+	}
+	return pts
+}
+
+// BenchmarkSweepE14 runs the E14 grid through the sweep engine at 1 and 8
+// workers; points/sec is the headline throughput metric and the 8-vs-1
+// ratio measures parallel scaling (≈ core count on unloaded hardware).
+func BenchmarkSweepE14(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pts := e14SweepGrid(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last sweep.Stats
+			for i := 0; i < b.N; i++ {
+				results, stats := sweep.Run(pts, sweep.Options{Workers: workers, BaseSeed: 1})
+				if err := sweep.JoinErrors(results); err != nil {
+					b.Fatal(err)
+				}
+				last = stats
+			}
+			b.ReportMetric(last.PointsPerSec, "points/sec")
+			b.ReportMetric(last.AllocsPerPoint, "allocs/point")
+		})
+	}
+}
+
+// benchSweepExplore executes b.N identical runs as one sweep batch, so the
+// worker's world is recycled via Reset across iterations — the engine port
+// of the fresh-world micro-benchmarks below.
+func benchSweepExplore(b *testing.B, t *tree.Tree, k int, factory func(int, *rand.Rand) sim.Algorithm) {
+	b.Helper()
+	pts := make([]sweep.Point, b.N)
+	for i := range pts {
+		pts[i] = sweep.Point{Tree: t, K: k, NewAlgorithm: factory}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	results, stats := sweep.Run(pts, sweep.Options{Workers: 1, BaseSeed: 1})
+	if err := sweep.JoinErrors(results); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(t.N()), "nodes")
+	b.ReportMetric(stats.AllocsPerPoint, "allocs/point")
+}
+
+// BenchmarkBFDNExploreSweep is BenchmarkBFDNExplore on the sweep engine's
+// zero-allocation World.Reset path; the allocs/op delta against the fresh
+// variant is the world-recycling saving.
+func BenchmarkBFDNExploreSweep(b *testing.B) {
+	t := benchTree(b, 50_000, 40)
+	benchSweepExplore(b, t, 64, func(k int, _ *rand.Rand) sim.Algorithm { return core.NewAlgorithm(k) })
+}
+
+// BenchmarkCTEExploreSweep is the CTE workload on the engine's reuse path.
+func BenchmarkCTEExploreSweep(b *testing.B) {
+	t := benchTree(b, 50_000, 40)
+	benchSweepExplore(b, t, 64, func(k int, _ *rand.Rand) sim.Algorithm { return cte.New(k) })
+}
+
 // --- engine micro-benchmarks ---------------------------------------------
 
 func benchTree(b *testing.B, n, d int) *tree.Tree {
@@ -188,9 +274,11 @@ func benchTree(b *testing.B, n, d int) *tree.Tree {
 func benchRng() *rand.Rand { return rand.New(rand.NewSource(12345)) }
 
 // BenchmarkBFDNExplore measures full BFDN runs on a 50k-node tree with 64
-// robots; ns/op divided by n is the per-node simulation cost.
+// robots; ns/op divided by n is the per-node simulation cost. Each run pays
+// for a fresh world — compare allocs/op against BenchmarkBFDNExploreSweep.
 func BenchmarkBFDNExplore(b *testing.B) {
 	t := benchTree(b, 50_000, 40)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w, err := sim.NewWorld(t, 64)
@@ -207,6 +295,7 @@ func BenchmarkBFDNExplore(b *testing.B) {
 // BenchmarkCTEExplore is the same workload under the CTE baseline.
 func BenchmarkCTEExplore(b *testing.B) {
 	t := benchTree(b, 50_000, 40)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w, err := sim.NewWorld(t, 64)

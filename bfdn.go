@@ -21,6 +21,7 @@ package bfdn
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"bfdn/internal/adversary"
 	"bfdn/internal/async"
@@ -32,6 +33,7 @@ import (
 	"bfdn/internal/offline"
 	"bfdn/internal/recursive"
 	"bfdn/internal/sim"
+	"bfdn/internal/sweep"
 	"bfdn/internal/tree"
 	"bfdn/internal/urns"
 	"bfdn/internal/writeread"
@@ -429,6 +431,136 @@ func AllocateWorkers(lengths []int) (*AllocationResult, error) {
 		Makespan:      res.Makespan,
 		Reassignments: res.Reassignments,
 		Bound:         urns.AllocateBound(len(lengths)),
+	}, nil
+}
+
+// SweepPoint is one run of a Sweep grid: the algorithm on Tree with K
+// robots. The zero Algorithm value selects BFDN.
+type SweepPoint struct {
+	Tree      *Tree
+	K         int
+	Algorithm Algorithm
+	// Ell sets ℓ when Algorithm is BFDNRecursive (0 selects the default 2).
+	Ell int
+}
+
+// SweepResult is the outcome of one sweep point: the usual exploration
+// Report, or the point's error. Other points are unaffected by a failure.
+type SweepResult struct {
+	Report Report `json:"report"`
+	Err    error  `json:"-"`
+}
+
+// SweepStats reports the engine throughput of one Sweep call.
+type SweepStats struct {
+	// Points is the number of runs executed, Workers the pool size used.
+	Points  int `json:"points"`
+	Workers int `json:"workers"`
+	// Elapsed is the wall-clock duration; PointsPerSec = Points/Elapsed.
+	Elapsed      time.Duration `json:"elapsed"`
+	PointsPerSec float64       `json:"pointsPerSec"`
+	// AllocsPerPoint is the mean heap allocations per run; worker-local
+	// world reuse keeps the simulator's share near zero.
+	AllocsPerPoint float64 `json:"allocsPerPoint"`
+	// Utilization is mean worker busy time over elapsed time (1 = all
+	// workers simulated the whole sweep).
+	Utilization float64 `json:"utilization"`
+}
+
+// Sweep executes a grid of independent exploration runs on a sharded worker
+// pool with per-worker world reuse: the engine behind the experiment suite,
+// exposed for large (algorithm × tree × k) comparisons. workers ≤ 0 selects
+// GOMAXPROCS; seed scrambles the deterministic per-point randomness. Results
+// arrive in point order and are identical at any worker count. Per-point
+// failures land in SweepResult.Err; Sweep itself errors only on points that
+// are invalid before running (nil tree, unknown algorithm, bad ℓ).
+func Sweep(points []SweepPoint, workers int, seed int64) ([]SweepResult, SweepStats, error) {
+	pts := make([]sweep.Point, len(points))
+	for i, p := range points {
+		if p.Tree == nil {
+			return nil, SweepStats{}, fmt.Errorf("bfdn: sweep point %d: nil tree", i)
+		}
+		alg := p.Algorithm
+		if alg == 0 {
+			alg = BFDN
+		}
+		ell := p.Ell
+		if ell == 0 {
+			ell = 2
+		}
+		switch alg {
+		case BFDN:
+			pts[i] = sweep.Point{Tree: p.Tree.t, K: p.K,
+				NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm { return core.NewAlgorithm(k) }}
+		case BFDNRecursive:
+			if _, err := recursive.NewBFDNL(max(p.K, 1), ell); err != nil {
+				return nil, SweepStats{}, fmt.Errorf("bfdn: sweep point %d: %w", i, err)
+			}
+			pts[i] = sweep.Point{Tree: p.Tree.t, K: p.K,
+				NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
+					a, err := recursive.NewBFDNL(k, ell)
+					if err != nil {
+						return nil
+					}
+					return a
+				}}
+		case CTE:
+			pts[i] = sweep.Point{Tree: p.Tree.t, K: p.K,
+				NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm { return cte.New(k) }}
+		case DFS:
+			pts[i] = sweep.Point{Tree: p.Tree.t, K: p.K,
+				NewAlgorithm: func(int, *rand.Rand) sim.Algorithm { return offline.DFS{} }}
+		case Levelwise:
+			pts[i] = sweep.Point{Tree: p.Tree.t, K: p.K,
+				NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm { return levelwise.New(k) }}
+		default:
+			return nil, SweepStats{}, fmt.Errorf("bfdn: sweep point %d: unknown algorithm %d", i, alg)
+		}
+	}
+	results, stats := sweep.Run(pts, sweep.Options{Workers: workers, BaseSeed: uint64(seed)})
+	out := make([]SweepResult, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			out[i] = SweepResult{Err: r.Err}
+			continue
+		}
+		p := points[i]
+		alg := p.Algorithm
+		if alg == 0 {
+			alg = BFDN
+		}
+		ell := p.Ell
+		if ell == 0 {
+			ell = 2
+		}
+		var bound float64
+		switch alg {
+		case BFDN:
+			bound = bounds.Theorem1(p.Tree.N(), p.Tree.Depth(), p.K, p.Tree.MaxDegree())
+		case BFDNRecursive:
+			bound = bounds.Theorem10(p.Tree.N(), p.Tree.Depth(), p.K, p.Tree.MaxDegree(), ell)
+		case DFS:
+			bound = float64(2 * (p.Tree.N() - 1))
+		case Levelwise:
+			bound = levelwise.Bound(p.Tree.N(), p.Tree.Depth(), p.K)
+		}
+		out[i] = SweepResult{Report: Report{
+			Rounds:            r.Rounds,
+			Moves:             r.Moves,
+			EdgeExplorations:  r.EdgeExplorations,
+			Bound:             bound,
+			OfflineLowerBound: bounds.OfflineLB(p.Tree.N(), p.Tree.Depth(), p.K),
+			FullyExplored:     r.FullyExplored,
+			AllAtRoot:         r.AllAtRoot,
+		}}
+	}
+	return out, SweepStats{
+		Points:         stats.Points,
+		Workers:        stats.Workers,
+		Elapsed:        stats.Elapsed,
+		PointsPerSec:   stats.PointsPerSec,
+		AllocsPerPoint: stats.AllocsPerPoint,
+		Utilization:    stats.Utilization,
 	}, nil
 }
 

@@ -28,6 +28,101 @@ func TestExploreDefaultBFDN(t *testing.T) {
 	}
 }
 
+func TestSweepMatchesExplore(t *testing.T) {
+	tr1, err := GenerateTree(FamilyRandom, 1200, 18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := GenerateTree(FamilySpider, 120, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []SweepPoint{
+		{Tree: tr1, K: 8}, // zero value = BFDN
+		{Tree: tr1, K: 8, Algorithm: CTE},
+		{Tree: tr2, K: 4, Algorithm: BFDNRecursive, Ell: 3},
+		{Tree: tr2, K: 3, Algorithm: DFS},
+		{Tree: tr2, K: 16, Algorithm: Levelwise},
+	}
+	results, stats, err := Sweep(points, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Points != len(points) || stats.PointsPerSec <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	opts := [][]Option{
+		nil,
+		{WithAlgorithm(CTE)},
+		{WithAlgorithm(BFDNRecursive), WithEll(3)},
+		{WithAlgorithm(DFS)},
+		{WithAlgorithm(Levelwise)},
+	}
+	for i, p := range points {
+		if results[i].Err != nil {
+			t.Fatalf("point %d: %v", i, results[i].Err)
+		}
+		want, err := Explore(p.Tree, p.K, opts[i]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := results[i].Report; got != *want {
+			t.Errorf("point %d: sweep report %+v differs from Explore %+v", i, got, *want)
+		}
+	}
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	tr, err := GenerateTree(FamilyRandom, 800, 14, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []SweepPoint
+	for _, k := range []int{2, 4, 8, 16} {
+		points = append(points, SweepPoint{Tree: tr, K: k}, SweepPoint{Tree: tr, K: k, Algorithm: CTE})
+	}
+	base, _, err := Sweep(points, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := Sweep(points, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i].Report != again[i].Report {
+			t.Errorf("point %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestSweepRejectsInvalidPoints(t *testing.T) {
+	tr, err := GenerateTree(FamilyPath, 10, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Sweep([]SweepPoint{{Tree: nil, K: 2}}, 1, 0); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, _, err := Sweep([]SweepPoint{{Tree: tr, K: 2, Algorithm: Algorithm(99)}}, 1, 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, _, err := Sweep([]SweepPoint{{Tree: tr, K: 2, Algorithm: BFDNRecursive, Ell: -3}}, 1, 0); err == nil {
+		t.Error("invalid ell accepted")
+	}
+	// A bad k is a per-point runtime failure, not a validation error.
+	results, _, err := Sweep([]SweepPoint{{Tree: tr, K: 0}, {Tree: tr, K: 2}}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Error("k=0 point did not fail")
+	}
+	if results[1].Err != nil || !results[1].Report.FullyExplored {
+		t.Errorf("healthy point affected: %+v", results[1])
+	}
+}
+
 func TestExploreAllAlgorithms(t *testing.T) {
 	tr, err := GenerateTree(FamilyRandom, 500, 15, 3)
 	if err != nil {

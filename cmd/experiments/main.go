@@ -1,12 +1,17 @@
-// Command experiments runs the full reproduction suite E1–E11 and the
+// Command experiments runs the full reproduction suite E1–E14 and the
 // ablations A1–A2 (the experiment index of DESIGN.md) and prints one table
-// per experiment, flagging any violated paper prediction.
+// per experiment, flagging any violated paper prediction. Experiments that
+// fail do not suppress the others: every completed table is printed and all
+// errors are reported together.
 //
 // Usage:
 //
-//	experiments            # CI-sized run
-//	experiments -scale 3   # larger workloads
-//	experiments -csv       # machine-readable output
+//	experiments                    # CI-sized run
+//	experiments -scale 3           # larger workloads
+//	experiments -csv               # machine-readable output
+//	experiments -sweepstats        # per-sweep engine throughput on stderr
+//	experiments -cpuprofile cpu.pp # write a pprof CPU profile
+//	experiments -memprofile mem.pp # write a pprof heap profile
 package main
 
 import (
@@ -14,8 +19,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sync"
 
 	"bfdn/internal/exp"
+	"bfdn/internal/sweep"
 )
 
 func main() {
@@ -27,19 +35,40 @@ func main() {
 
 func run() error {
 	var (
-		scale    = flag.Int("scale", 1, "workload scale multiplier")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently")
+		scale      = flag.Int("scale", 1, "workload scale multiplier")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently")
+		workers    = flag.Int("sweepworkers", 0, "sweep-engine workers per experiment (0 = GOMAXPROCS)")
+		sweepStats = flag.Bool("sweepstats", false, "print per-sweep engine stats to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if *scale < 1 {
 		return fmt.Errorf("need scale ≥ 1, got %d", *scale)
 	}
-	reports, err := exp.RunAllParallel(exp.Config{Seed: *seed, Scale: *scale}, *parallel)
-	if err != nil {
-		return err
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
+	cfg := exp.Config{Seed: *seed, Scale: *scale, Workers: *workers}
+	if *sweepStats {
+		var mu sync.Mutex
+		cfg.StatsSink = func(label string, s sweep.Stats) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "sweep %s: %s\n", label, s)
+		}
+	}
+	reports, err := exp.RunAllParallel(cfg, *parallel)
 	violations := 0
 	for _, r := range reports {
 		fmt.Printf("=== %s — %s ===\n", r.ID, r.Description)
@@ -59,9 +88,33 @@ func run() error {
 		fmt.Println()
 		violations += r.Outcome.Violations
 	}
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		runtime.GC()
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			return perr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("%d/%d experiments completed; failures:\n%w",
+			len(reports), len(reports)+countJoined(err), err)
+	}
 	if violations > 0 {
 		return fmt.Errorf("%d paper predictions violated", violations)
 	}
 	fmt.Println("all paper predictions hold")
 	return nil
+}
+
+// countJoined reports how many errors err bundles (errors.Join exposes them
+// via Unwrap() []error; a plain error counts as one).
+func countJoined(err error) int {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return len(u.Unwrap())
+	}
+	return 1
 }

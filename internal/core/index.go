@@ -78,6 +78,25 @@ func (h *loadHeap) Pop() interface{} {
 	return x
 }
 
+// push inserts e without the interface boxing of heap.Push — that boxing
+// was one heap allocation per explored node, the dominant allocator of a
+// whole BFDN run (heap.Fix only takes the receiver, so nothing escapes).
+func (h *loadHeap) push(e loadEntry) {
+	*h = append(*h, e)
+	heap.Fix(h, len(*h)-1)
+}
+
+// dropRoot discards the root entry without the boxing of heap.Pop.
+func (h *loadHeap) dropRoot() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 0 {
+		heap.Fix(h, 0)
+	}
+}
+
 func newAnchorIndex(minLoadOrder bool) *anchorIndex {
 	sign := 1
 	if !minLoadOrder {
@@ -107,7 +126,7 @@ func (a *anchorIndex) addOpen(v tree.NodeID, d int) {
 	b := a.bucket(d)
 	a.pos.set(v, int32(len(b.members)))
 	b.members = append(b.members, v)
-	heap.Push(&b.heap, loadEntry{node: v, load: int32(a.sign) * a.loads.get(v)})
+	b.heap.push(loadEntry{node: v, load: int32(a.sign) * a.loads.get(v)})
 }
 
 // close removes node v (relative depth d) from the open set. It is a no-op
@@ -137,7 +156,7 @@ func (a *anchorIndex) changeLoad(v tree.NodeID, vDepth int, delta int) {
 	nv := a.loads.add(v, int32(delta))
 	if a.pos.get(v) >= 0 {
 		b := a.buckets[vDepth]
-		heap.Push(&b.heap, loadEntry{node: v, load: int32(a.sign) * nv})
+		b.heap.push(loadEntry{node: v, load: int32(a.sign) * nv})
 	}
 }
 
@@ -169,7 +188,7 @@ func (a *anchorIndex) pickMinLoad(d int) tree.NodeID {
 		}
 		e := b.heap[0]
 		if a.pos.get(e.node) < 0 || e.load != int32(a.sign)*a.loads.get(e.node) {
-			heap.Pop(&b.heap) // stale entry
+			b.heap.dropRoot() // stale entry
 			continue
 		}
 		return e.node

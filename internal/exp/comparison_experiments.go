@@ -5,8 +5,9 @@ import (
 
 	"bfdn/internal/bounds"
 	"bfdn/internal/core"
-	"bfdn/internal/cte"
 	"bfdn/internal/offline"
+	"bfdn/internal/sim"
+	"bfdn/internal/sweep"
 	"bfdn/internal/table"
 	"bfdn/internal/tree"
 	"bfdn/internal/urns"
@@ -16,22 +17,35 @@ import (
 // segment-splitting algorithm, and the offline lower bound, reporting the
 // competitive overhead T − 2n/k. Paper prediction: BFDN's overhead is
 // O(D² log k) on every tree, while CTE's overhead can reach Ω(Dk/log k) on
-// the uneven-paths family.
+// the uneven-paths family. All simulation runs execute as one sweep grid;
+// the offline splitter is a direct computation and stays inline.
 func E10CTEComparison(cfg Config) (*table.Table, Outcome, error) {
 	tb := table.New("E10 — BFDN vs CTE vs offline (overhead = rounds − 2n/k)",
 		"tree", "k", "BFDN", "CTE", "DFS(k=1)", "offline", "lower", "ovh-BFDN", "ovh-CTE")
 	var out Outcome
 	k := 16
 	suite := append(workloadTrees(cfg), tree.UnevenPaths(k, 120*cfg.Scale))
+	// The headline comparison (Figure 1 / Appendix A): inside BFDN's region
+	// n ≥ D²·log²k, BFDN's competitive overhead beats CTE's. Measured on
+	// bushy trees squarely inside the region.
+	region := []*tree.Tree{
+		tree.Random(6000*cfg.Scale, 12, cfg.rng(10)),
+		tree.UnevenPaths(16*k, 30),
+	}
+	var pts []sweep.Point
+	for _, tr := range append(append([]*tree.Tree{}, suite...), region...) {
+		pts = append(pts,
+			sweep.Point{Tree: tr, K: k, NewAlgorithm: newBFDN},
+			sweep.Point{Tree: tr, K: k, NewAlgorithm: newCTE})
+	}
+	results, err := runSweep(cfg, "E10", pts)
+	if err != nil {
+		return nil, out, err
+	}
+	i := 0
 	for _, tr := range suite {
-		rB, err := run(tr, k, core.NewAlgorithm(k))
-		if err != nil {
-			return nil, out, err
-		}
-		rC, err := run(tr, k, cte.New(k))
-		if err != nil {
-			return nil, out, err
-		}
+		rB, rC := results[i], results[i+1]
+		i += 2
 		dfs := 2 * (tr.N() - 1)
 		off, err := offline.SplitDFS(tr, k)
 		if err != nil {
@@ -47,21 +61,9 @@ func E10CTEComparison(cfg Config) (*table.Table, Outcome, error) {
 		out.check(ovhB <= bounds.Theorem1(tr.N(), tr.Depth(), k, tr.MaxDegree())-opt+1,
 			"E10: %s: BFDN overhead %.1f above guarantee", tr, ovhB)
 	}
-	// The headline comparison (Figure 1 / Appendix A): inside BFDN's region
-	// n ≥ D²·log²k, BFDN's competitive overhead beats CTE's. Measured on
-	// bushy trees squarely inside the region.
-	for _, hard := range []*tree.Tree{
-		tree.Random(6000*cfg.Scale, 12, cfg.rng(10)),
-		tree.UnevenPaths(16*k, 30),
-	} {
-		rB, err := run(hard, k, core.NewAlgorithm(k))
-		if err != nil {
-			return nil, out, err
-		}
-		rC, err := run(hard, k, cte.New(k))
-		if err != nil {
-			return nil, out, err
-		}
+	for _, hard := range region {
+		rB, rC := results[i], results[i+1]
+		i += 2
 		opt := 2 * float64(hard.N()-1) / float64(k)
 		tb.AddRow(hard.String()+" (region)", k, rB.Rounds, rC.Rounds, 2*(hard.N()-1),
 			0, bounds.OfflineLB(hard.N(), hard.Depth(), k),
@@ -116,7 +118,9 @@ func E11ResourceAllocation(cfg Config) (*table.Table, Outcome, error) {
 // choice, backed by Theorem 3) against round-robin, random, and most-loaded
 // assignment. Prediction: least-loaded respects the Lemma 2 budget; the
 // most-loaded rule concentrates robots and wastes rounds on anchor-heavy
-// trees.
+// trees. The (tree, policy) grid runs on the sweep engine; because the
+// checks need each run's re-anchor statistics, the point factories park the
+// constructed algorithm in a per-point slot for post-run inspection.
 func A1ReanchorPolicy(cfg Config) (*table.Table, Outcome, error) {
 	tb := table.New("A1 — ablation: Reanchor policy",
 		"tree", "k", "policy", "rounds", "max-reanchors")
@@ -128,19 +132,37 @@ func A1ReanchorPolicy(cfg Config) (*table.Table, Outcome, error) {
 		tree.Random(2000*cfg.Scale, 15, rng),
 		tree.UnevenPaths(k, 60*cfg.Scale),
 	}
+	policies := []core.Policy{core.LeastLoaded, core.RoundRobin, core.RandomOpen, core.MostLoaded}
+	var pts []sweep.Point
+	algs := make([]*core.Algorithm, len(suite)*len(policies))
+	for ti, tr := range suite {
+		for pi, p := range policies {
+			slot, p := ti*len(policies)+pi, p
+			pts = append(pts, sweep.Point{Tree: tr, K: k,
+				NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
+					opts := []core.Option{core.WithPolicy(p)}
+					if p == core.RandomOpen {
+						// Seeded as in the sequential runner (not from the
+						// sweep rng) to keep the historical tables stable.
+						opts = append(opts, core.WithRand(cfg.rng(22)))
+					}
+					a := core.NewAlgorithm(k, opts...)
+					algs[slot] = a
+					return a
+				}})
+		}
+	}
+	results, err := runSweep(cfg, "A1", pts)
+	if err != nil {
+		return nil, out, err
+	}
+	i := 0
 	for _, tr := range suite {
-		results := map[core.Policy]int{}
-		for _, p := range []core.Policy{core.LeastLoaded, core.RoundRobin, core.RandomOpen, core.MostLoaded} {
-			opts := []core.Option{core.WithPolicy(p)}
-			if p == core.RandomOpen {
-				opts = append(opts, core.WithRand(cfg.rng(22)))
-			}
-			alg := core.NewAlgorithm(k, opts...)
-			res, err := run(tr, k, alg)
-			if err != nil {
-				return nil, out, err
-			}
-			results[p] = res.Rounds
+		rounds := map[core.Policy]int{}
+		for _, p := range policies {
+			res, alg := results[i], algs[i]
+			i++
+			rounds[p] = res.Rounds
 			tb.AddRow(tr.String(), k, p.String(), res.Rounds,
 				alg.Inner().Stats().MaxReanchorsAtDepth())
 			if p == core.LeastLoaded {
@@ -149,9 +171,9 @@ func A1ReanchorPolicy(cfg Config) (*table.Table, Outcome, error) {
 					"A1: %s least-loaded breaks Lemma 2", tr)
 			}
 		}
-		out.check(results[core.LeastLoaded] <= results[core.MostLoaded]+tr.Depth(),
+		out.check(rounds[core.LeastLoaded] <= rounds[core.MostLoaded]+tr.Depth(),
 			"A1: %s: least-loaded (%d) worse than most-loaded (%d)",
-			tr, results[core.LeastLoaded], results[core.MostLoaded])
+			tr, rounds[core.LeastLoaded], rounds[core.MostLoaded])
 	}
 	return tb, out, nil
 }

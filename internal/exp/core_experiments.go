@@ -3,28 +3,43 @@ package exp
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"bfdn/internal/bounds"
 	"bfdn/internal/core"
 	"bfdn/internal/cte"
 	"bfdn/internal/recursive"
+	"bfdn/internal/sim"
+	"bfdn/internal/sweep"
 	"bfdn/internal/table"
 	"bfdn/internal/tree"
 	"bfdn/internal/urns"
 )
 
 // E1Theorem1 measures BFDN's runtime against the Theorem 1 guarantee
-// 2n/k + D²(min{log k, log Δ}+3) on every workload family.
+// 2n/k + D²(min{log k, log Δ}+3) on every workload family. The (tree, k)
+// grid runs on the sweep engine.
 func E1Theorem1(cfg Config) (*table.Table, Outcome, error) {
 	tb := table.New("E1 — Theorem 1: BFDN runtime vs guarantee",
 		"tree", "n", "D", "Δ", "k", "rounds", "bound", "2n/k", "util")
 	var out Outcome
-	for _, tr := range workloadTrees(cfg) {
-		for _, k := range []int{2, 8, 32} {
-			res, err := run(tr, k, core.NewAlgorithm(k))
-			if err != nil {
-				return nil, out, err
-			}
+	trees := workloadTrees(cfg)
+	ks := []int{2, 8, 32}
+	var pts []sweep.Point
+	for _, tr := range trees {
+		for _, k := range ks {
+			pts = append(pts, sweep.Point{Tree: tr, K: k, NewAlgorithm: newBFDN})
+		}
+	}
+	results, err := runSweep(cfg, "E1", pts)
+	if err != nil {
+		return nil, out, err
+	}
+	i := 0
+	for _, tr := range trees {
+		for _, k := range ks {
+			res := results[i]
+			i++
 			bound := bounds.Theorem1(tr.N(), tr.Depth(), k, tr.MaxDegree())
 			opt := 2 * float64(tr.N()) / float64(k)
 			tb.AddRow(tr.String(), tr.N(), tr.Depth(), tr.MaxDegree(), k,
@@ -35,6 +50,12 @@ func E1Theorem1(cfg Config) (*table.Table, Outcome, error) {
 	}
 	return tb, out, nil
 }
+
+// newBFDN is the sweep-point factory for the paper's default BFDN.
+func newBFDN(k int, _ *rand.Rand) sim.Algorithm { return core.NewAlgorithm(k) }
+
+// newCTE is the sweep-point factory for the CTE baseline.
+func newCTE(k int, _ *rand.Rand) sim.Algorithm { return cte.New(k) }
 
 // E2Figure1 reproduces Figure 1: the analytic region map of guarantee
 // winners over (n, D) for k = 32, plus an empirical winner map comparing the

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"bfdn/internal/sim"
+	"bfdn/internal/sweep"
 	"bfdn/internal/tree"
 )
 
@@ -20,6 +21,15 @@ type Config struct {
 	// Scale multiplies workload sizes: 1 = CI-sized (sub-second per
 	// experiment), larger values for the full cmd/experiments run.
 	Scale int
+	// Workers is the sweep-engine pool size used by the grid-shaped
+	// experiments (E1, E10, E14, A1); ≤ 0 selects GOMAXPROCS. Results are
+	// identical at any worker count.
+	Workers int
+	// StatsSink, when non-nil, receives the engine stats of every sweep an
+	// experiment runs (observability; cmd/experiments prints them). It must
+	// be safe for concurrent use: RunAllParallel calls it from several
+	// experiment goroutines.
+	StatsSink func(label string, s sweep.Stats)
 }
 
 // DefaultConfig is the CI-sized configuration.
@@ -44,6 +54,31 @@ func (o *Outcome) check(ok bool, format string, args ...interface{}) {
 		o.Violations++
 		o.Notes = append(o.Notes, fmt.Sprintf(format, args...))
 	}
+}
+
+// runSweep executes a point grid on the sweep engine with the Config's
+// worker count and unwraps the results in point order, failing loudly on
+// simulator errors or incomplete exploration (the contract of run, batched).
+func runSweep(cfg Config, label string, pts []sweep.Point) ([]sim.Result, error) {
+	results, stats := sweep.Run(pts, sweep.Options{
+		Workers:  cfg.Workers,
+		BaseSeed: uint64(cfg.Seed),
+	})
+	if cfg.StatsSink != nil {
+		cfg.StatsSink(label, stats)
+	}
+	if err := sweep.JoinErrors(results); err != nil {
+		return nil, fmt.Errorf("%s: %w", label, err)
+	}
+	out := make([]sim.Result, len(results))
+	for i, r := range results {
+		if !r.FullyExplored {
+			return nil, fmt.Errorf("%s point %d: %s k=%d: incomplete exploration",
+				label, i, pts[i].Tree, pts[i].K)
+		}
+		out[i] = r.Result
+	}
+	return out, nil
 }
 
 // run executes alg on tr with k robots and fails loudly on simulator errors

@@ -1,8 +1,12 @@
 package exp
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"bfdn/internal/sweep"
+	"bfdn/internal/table"
 )
 
 func TestRunAllNoViolations(t *testing.T) {
@@ -61,6 +65,91 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 		if seq[i].Table.Render() != par[i].Table.Render() {
 			t.Errorf("%s: parallel output differs from sequential", seq[i].ID)
 		}
+	}
+}
+
+// TestRunDefinitionsJoinsErrorsAndKeepsCompletedReports pins the suite
+// runner's failure contract: every failing experiment's error is reported
+// (errors.Join) and the successfully completed reports are still returned,
+// in suite order.
+func TestRunDefinitionsJoinsErrorsAndKeepsCompletedReports(t *testing.T) {
+	okDef := func(id string) definition {
+		return definition{id: id, run: func(Config) (Report, error) {
+			return Report{ID: id}, nil
+		}}
+	}
+	failDef := func(id string) definition {
+		return definition{id: id, run: func(Config) (Report, error) {
+			return Report{}, errors.New(id + " exploded")
+		}}
+	}
+	defs := []definition{okDef("X1"), failDef("X2"), okDef("X3"), failDef("X4"), okDef("X5")}
+	for _, workers := range []int{1, 3, 8} {
+		reports, err := runDefinitions(defs, DefaultConfig(), workers)
+		if err == nil {
+			t.Fatalf("workers=%d: no error despite two failures", workers)
+		}
+		for _, id := range []string{"X2 exploded", "X4 exploded"} {
+			if !strings.Contains(err.Error(), id) {
+				t.Errorf("workers=%d: joined error %q misses %q", workers, err, id)
+			}
+		}
+		var ids []string
+		for _, r := range reports {
+			ids = append(ids, r.ID)
+		}
+		if got := strings.Join(ids, ","); got != "X1,X3,X5" {
+			t.Errorf("workers=%d: completed reports = %s, want X1,X3,X5", workers, got)
+		}
+	}
+}
+
+// TestSweepExperimentsWorkerInvariant checks that the sweep-ported
+// experiments render identically at any engine worker count.
+func TestSweepExperimentsWorkerInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		id  string
+		run func(Config) (*table.Table, Outcome, error)
+	}{
+		{"E1", E1Theorem1},
+		{"E14", E14CompetitiveRatio},
+		{"A1", A1ReanchorPolicy},
+	} {
+		cfg := DefaultConfig()
+		cfg.Workers = 1
+		seq, _, err := tc.run(cfg)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", tc.id, err)
+		}
+		cfg.Workers = 4
+		par, _, err := tc.run(cfg)
+		if err != nil {
+			t.Fatalf("%s workers=4: %v", tc.id, err)
+		}
+		if seq.Render() != par.Render() {
+			t.Errorf("%s: output differs between 1 and 4 sweep workers", tc.id)
+		}
+	}
+}
+
+// TestStatsSinkReceivesSweepStats checks the observability hook fires for
+// every engine invocation of a ported experiment.
+func TestStatsSinkReceivesSweepStats(t *testing.T) {
+	cfg := DefaultConfig()
+	var labels []string
+	var points int
+	cfg.StatsSink = func(label string, s sweep.Stats) {
+		labels = append(labels, label)
+		points += s.Points
+	}
+	if _, _, err := E1Theorem1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 1 || labels[0] != "E1" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if points != 33 { // 11 workload trees × k ∈ {2, 8, 32}
+		t.Errorf("E1 sweep ran %d points, want 33", points)
 	}
 }
 

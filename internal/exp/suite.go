@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -69,10 +70,17 @@ func RunAll(cfg Config) ([]Report, error) {
 
 // RunAllParallel executes the suite on up to workers goroutines (the
 // experiments are independent and deterministic, so the output is identical
-// to a sequential run). The first error wins; all workers are drained
-// before returning.
+// to a sequential run). It returns every report that completed, in suite
+// order, together with the errors of *all* failing experiments joined via
+// errors.Join — one failing experiment neither hides the other reports nor
+// swallows later workers' errors.
 func RunAllParallel(cfg Config, workers int) ([]Report, error) {
-	defs := definitions()
+	return runDefinitions(definitions(), cfg, workers)
+}
+
+// runDefinitions is the worker-pool body of RunAllParallel, split out so the
+// error-joining contract is testable with synthetic experiment definitions.
+func runDefinitions(defs []definition, cfg Config, workers int) ([]Report, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -97,10 +105,14 @@ func RunAllParallel(cfg Config, workers int) ([]Report, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
+	completed := make([]Report, 0, len(defs))
+	var failures []error
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			failures = append(failures, err)
+			continue
 		}
+		completed = append(completed, reports[i])
 	}
-	return reports, nil
+	return completed, errors.Join(failures...)
 }

@@ -31,6 +31,21 @@ func (m *Metrics) addMove(robot int) {
 	m.MovesPerRobot[robot]++
 }
 
+// reset zeroes all counters for a run with k robots, reusing the per-robot
+// slice when its capacity suffices (the World.Reset zero-allocation path).
+func (m *Metrics) reset(k int) {
+	per := m.MovesPerRobot
+	if cap(per) >= k {
+		per = per[:k]
+		for i := range per {
+			per[i] = 0
+		}
+	} else {
+		per = make([]int64, k)
+	}
+	*m = Metrics{MovesPerRobot: per}
+}
+
 func (m *Metrics) clone() Metrics {
 	out := *m
 	out.MovesPerRobot = append([]int64(nil), m.MovesPerRobot...)

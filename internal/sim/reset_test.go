@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bfdn/internal/tree"
+)
+
+// runFresh runs soloDFS on a fresh world and returns the result.
+func runFresh(t *testing.T, tr *tree.Tree, k int) Result {
+	t.Helper()
+	w, err := NewWorld(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, soloDFS{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestResetMatchesFreshWorld recycles one world through a mixed sequence of
+// (tree, k) shapes — growing and shrinking both n and k — and checks every
+// run metric-for-metric against a fresh NewWorld run.
+func TestResetMatchesFreshWorld(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	seq := []struct {
+		tr *tree.Tree
+		k  int
+	}{
+		{tree.Path(40), 3},
+		{tree.Random(300, 14, rng), 8},
+		{tree.Star(25), 2},             // shrink n
+		{tree.Random(500, 20, rng), 1}, // grow n, shrink k
+		{tree.KAry(2, 5), 16},          // grow k
+		{tree.Path(40), 3},             // revisit the first shape
+	}
+	var w *World
+	for i, s := range seq {
+		if w == nil {
+			var err error
+			w, err = NewWorld(s.tr, s.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else if err := w.Reset(s.tr, s.k); err != nil {
+			t.Fatalf("step %d: Reset: %v", i, err)
+		}
+		got, err := Run(w, soloDFS{}, 0)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		want := runFresh(t, s.tr, s.k)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("step %d (%s k=%d): reset run %+v differs from fresh run %+v",
+				i, s.tr, s.k, got, want)
+		}
+		if !got.FullyExplored || !got.AllAtRoot {
+			t.Errorf("step %d: termination state %+v", i, got)
+		}
+	}
+}
+
+func TestResetRejectsBadK(t *testing.T) {
+	w, err := NewWorld(tree.Path(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(tree.Path(5), 0); err == nil {
+		t.Error("Reset accepted k=0")
+	}
+}
+
+// TestResetAllocatesNothingAtSteadyState is the zero-allocation contract the
+// sweep engine relies on: once the world has seen a shape, Reset to the same
+// or a smaller shape performs no heap allocation.
+func TestResetAllocatesNothingAtSteadyState(t *testing.T) {
+	big := tree.Random(2000, 25, rand.New(rand.NewSource(3)))
+	small := tree.Path(50)
+	w, err := NewWorld(big, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := w.Reset(big, 32); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Reset(small, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Reset allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestResetClearsReservations makes sure in-flight reservation state from an
+// aborted round does not leak into the next run.
+func TestResetClearsReservations(t *testing.T) {
+	tr := tree.Star(6)
+	w, err := NewWorld(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := w.View()
+	for i := 0; i < 3; i++ {
+		if _, ok := v.ReserveDangling(tree.Root); !ok {
+			t.Fatal("reservation failed")
+		}
+	}
+	if err := w.Reset(tr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.UnreservedDanglingAt(tree.Root); got != tr.NumChildren(tree.Root) {
+		t.Errorf("after Reset, %d unreserved dangling edges, want %d", got, tr.NumChildren(tree.Root))
+	}
+	res, err := Run(w, soloDFS{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullyExplored {
+		t.Error("run after aborted reservations incomplete")
+	}
+}

@@ -78,6 +78,10 @@ type World struct {
 	round   int
 	metrics Metrics
 	view    *View
+	// evBuf is the reusable explore-event buffer returned by Apply; it is
+	// valid until the next Apply call (no caller retains events across
+	// rounds), so steady-state rounds allocate nothing.
+	evBuf []ExploreEvent
 }
 
 // NewWorld creates a world with k robots at the root of t. The root starts
@@ -104,6 +108,54 @@ func NewWorld(t *tree.Tree, k int) (*World, error) {
 	w.metrics.DiscoveredEdges = t.NumChildren(tree.Root)
 	w.view = &View{w: w}
 	return w, nil
+}
+
+// Reset re-initializes w to the start state of a fresh NewWorld(t, k) —
+// k robots at the root of t, only the root explored — while reusing the
+// world's allocations wherever capacities allow. A run on a Reset world is
+// indistinguishable from a run on a new world; the sweep engine
+// (internal/sweep) relies on this to recycle one world per worker across
+// thousands of points. The *View returned by View() remains valid across
+// Resets.
+func (w *World) Reset(t *tree.Tree, k int) error {
+	if k < 1 {
+		return fmt.Errorf("sim: need at least one robot, got %d", k)
+	}
+	n := t.N()
+	w.t = t
+	w.k = k
+	w.pos = grow(w.pos, k)
+	for i := range w.pos {
+		w.pos[i] = tree.Root
+	}
+	w.explored = grow(w.explored, n)
+	w.nextKid = grow(w.nextKid, n)
+	w.reservedRound = grow(w.reservedRound, n)
+	w.reservedCount = grow(w.reservedCount, n)
+	for i := 0; i < n; i++ {
+		w.explored[i] = false
+		w.nextKid[i] = 0
+		w.reservedRound[i] = -1
+		w.reservedCount[i] = 0
+	}
+	w.explored[tree.Root] = true
+	w.exploredCount = 1
+	w.round = 0
+	w.metrics.reset(k)
+	w.metrics.DiscoveredEdges = t.NumChildren(tree.Root)
+	if w.view == nil {
+		w.view = &View{w: w}
+	}
+	return nil
+}
+
+// grow returns s resized to n elements, reusing its backing array when the
+// capacity suffices. Contents are unspecified; callers re-initialize.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // K reports the number of robots.
@@ -169,13 +221,14 @@ func (w *World) reserveDangling(v tree.NodeID) (Ticket, bool) {
 
 // Apply executes one synchronous round. moves must contain exactly one move
 // per robot. It returns the explore events of the round and whether any robot
-// changed position. Errors indicate illegal moves (algorithm bugs) and leave
-// the world in an unspecified state.
+// changed position. The returned slice is only valid until the next Apply
+// call (the buffer is reused). Errors indicate illegal moves (algorithm bugs)
+// and leave the world in an unspecified state.
 func (w *World) Apply(moves []Move) ([]ExploreEvent, bool, error) {
 	if len(moves) != w.k {
 		return nil, false, fmt.Errorf("sim: round %d: got %d moves for %d robots", w.round, len(moves), w.k)
 	}
-	var events []ExploreEvent
+	events := w.evBuf[:0]
 	anyMoved := false
 	anyStill := false
 	for i, m := range moves {
@@ -245,6 +298,7 @@ func (w *World) Apply(moves []Move) ([]ExploreEvent, bool, error) {
 			w.metrics.StillRobotRounds++
 		}
 	}
+	w.evBuf = events[:0]
 	return events, anyMoved, nil
 }
 

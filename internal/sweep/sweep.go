@@ -1,0 +1,212 @@
+// Package sweep is the parallel execution engine behind every large
+// experiment grid: a sweep is a list of independent points (algorithm ×
+// tree × k × seed) that are sharded across a worker pool and executed with
+// per-worker world reuse (sim.World.Reset), so steady-state points allocate
+// almost nothing beyond what the algorithm itself needs.
+//
+// Determinism is a hard contract: per-point randomness is derived from the
+// sweep's base seed and the point's index alone (DeriveSeed, a splitmix64
+// finalizer), and results are written to the slot matching the point's
+// index, so the output is byte-identical at any worker count and under any
+// scheduling of the pool.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// Point is one independent simulation run of a sweep grid.
+type Point struct {
+	// Tree is the hidden exploration target. Trees are immutable, so one
+	// *tree.Tree may back any number of points.
+	Tree *tree.Tree
+	// K is the number of robots.
+	K int
+	// NewAlgorithm constructs the point's algorithm. It is called once per
+	// execution of the point, on the worker goroutine; rng is seeded from
+	// DeriveSeed(baseSeed, index), so randomized algorithms stay
+	// deterministic regardless of worker count or execution order. The
+	// factory must not share mutable state across points.
+	NewAlgorithm func(k int, rng *rand.Rand) sim.Algorithm
+	// MaxRounds caps the run; ≤ 0 selects the paper's termination cap
+	// (see sim.Run).
+	MaxRounds int64
+}
+
+// Result is the outcome of one point.
+type Result struct {
+	// Point is the index into the input slice.
+	Point int
+	// Seed is the derived per-point seed (DeriveSeed of base and index).
+	Seed uint64
+	sim.Result
+	// Err is non-nil when the point could not run or the simulator
+	// rejected a move; the other points are unaffected.
+	Err error
+}
+
+// Stats summarizes one engine invocation, for observability.
+type Stats struct {
+	// Points is the number of points executed.
+	Points int
+	// Workers is the effective worker-pool size.
+	Workers int
+	// Elapsed is the wall-clock duration of the sweep.
+	Elapsed time.Duration
+	// PointsPerSec is Points / Elapsed.
+	PointsPerSec float64
+	// AllocsPerPoint is the mean number of heap allocations per point over
+	// the whole process (runtime.MemStats.Mallocs delta; includes algorithm
+	// construction and any concurrent activity).
+	AllocsPerPoint float64
+	// Utilization is the mean worker busy time divided by Elapsed:
+	// 1.0 means every worker simulated the whole time.
+	Utilization float64
+}
+
+// String renders the stats as the one-line form printed by cmd/experiments.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d points, %d workers, %.0f points/sec, %.0f allocs/point, %.0f%% utilization",
+		s.Points, s.Workers, s.PointsPerSec, s.AllocsPerPoint, 100*s.Utilization)
+}
+
+// Options configure Run. The zero value is valid.
+type Options struct {
+	// Workers is the worker-pool size; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// BaseSeed scrambles every per-point seed (DeriveSeed).
+	BaseSeed uint64
+}
+
+// DeriveSeed maps (base, index) to a per-point seed with the splitmix64
+// finalizer: neighbouring indices get statistically independent streams and
+// the mapping depends only on the two inputs, never on scheduling.
+func DeriveSeed(base, index uint64) uint64 {
+	z := base ^ (index * 0x9e3779b97f4a7c15)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Run executes all points on a pool of opt.Workers goroutines and returns
+// one Result per point, in point order. Failures are per-point (Result.Err);
+// Run itself never fails. Each worker recycles a single sim.World across the
+// points it executes.
+func Run(points []Point, opt Options) ([]Result, Stats) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]Result, len(points))
+	stats := Stats{Points: len(points), Workers: workers}
+	if len(points) == 0 {
+		return results, stats
+	}
+
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
+	start := time.Now()
+
+	busy := make([]time.Duration, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			var world *sim.World
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				t0 := time.Now()
+				results[i] = runPoint(&world, points[i], i, opt.BaseSeed)
+				busy[wk] += time.Since(t0)
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	stats.Elapsed = time.Since(start)
+	var mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem1)
+	if s := stats.Elapsed.Seconds(); s > 0 {
+		stats.PointsPerSec = float64(len(points)) / s
+	}
+	stats.AllocsPerPoint = float64(mem1.Mallocs-mem0.Mallocs) / float64(len(points))
+	var totalBusy time.Duration
+	for _, b := range busy {
+		totalBusy += b
+	}
+	if d := stats.Elapsed * time.Duration(workers); d > 0 {
+		stats.Utilization = float64(totalBusy) / float64(d)
+	}
+	return results, stats
+}
+
+// runPoint executes one point on the worker's recycled world. world is the
+// worker-local slot: nil before the first point, reused (via Reset)
+// afterwards.
+func runPoint(world **sim.World, p Point, index int, baseSeed uint64) Result {
+	res := Result{Point: index, Seed: DeriveSeed(baseSeed, uint64(index))}
+	if p.Tree == nil {
+		res.Err = fmt.Errorf("sweep: point %d: nil tree", index)
+		return res
+	}
+	if p.NewAlgorithm == nil {
+		res.Err = fmt.Errorf("sweep: point %d: nil algorithm factory", index)
+		return res
+	}
+	w := *world
+	if w == nil {
+		nw, err := sim.NewWorld(p.Tree, p.K)
+		if err != nil {
+			res.Err = fmt.Errorf("sweep: point %d: %w", index, err)
+			return res
+		}
+		w = nw
+		*world = w
+	} else if err := w.Reset(p.Tree, p.K); err != nil {
+		res.Err = fmt.Errorf("sweep: point %d: %w", index, err)
+		return res
+	}
+	rng := rand.New(rand.NewSource(int64(res.Seed)))
+	alg := p.NewAlgorithm(p.K, rng)
+	if alg == nil {
+		res.Err = fmt.Errorf("sweep: point %d: algorithm factory returned nil", index)
+		return res
+	}
+	r, err := sim.Run(w, alg, p.MaxRounds)
+	if err != nil {
+		res.Err = fmt.Errorf("sweep: point %d: %w", index, err)
+		return res
+	}
+	res.Result = r
+	return res
+}
+
+// JoinErrors collects every per-point error of a sweep into one error
+// (errors.Join), or nil when all points succeeded.
+func JoinErrors(results []Result) error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	return errors.Join(errs...)
+}

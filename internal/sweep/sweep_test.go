@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"bfdn/internal/core"
+	"bfdn/internal/cte"
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// testGrid builds a small mixed grid: three trees × three k values × three
+// algorithms (BFDN, CTE, and BFDN with the randomized re-anchor policy, which
+// exercises the per-point rng).
+func testGrid(t *testing.T) []Point {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	trees := []*tree.Tree{
+		tree.Random(400, 12, rng),
+		tree.Spider(6, 15),
+		tree.Comb(25, 4),
+	}
+	var pts []Point
+	for _, tr := range trees {
+		for _, k := range []int{1, 4, 16} {
+			pts = append(pts,
+				Point{Tree: tr, K: k, NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
+					return core.NewAlgorithm(k)
+				}},
+				Point{Tree: tr, K: k, NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
+					return cte.New(k)
+				}},
+				Point{Tree: tr, K: k, NewAlgorithm: func(k int, rng *rand.Rand) sim.Algorithm {
+					return core.NewAlgorithm(k, core.WithPolicy(core.RandomOpen), core.WithRand(rng))
+				}},
+			)
+		}
+	}
+	return pts
+}
+
+// render serializes results into a canonical byte form so worker-count
+// comparisons are literal byte-identity checks.
+func render(results []Result) string {
+	s := ""
+	for _, r := range results {
+		s += fmt.Sprintf("%d seed=%x err=%v %+v\n", r.Point, r.Seed, r.Err, r.Result)
+	}
+	return s
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	pts := testGrid(t)
+	base, stats := Run(pts, Options{Workers: 1, BaseSeed: 7})
+	if stats.Workers != 1 || stats.Points != len(pts) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	want := render(base)
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		got, _ := Run(pts, Options{Workers: workers, BaseSeed: 7})
+		if r := render(got); r != want {
+			t.Errorf("workers=%d output differs from workers=1:\n%s\nvs\n%s", workers, r, want)
+		}
+	}
+}
+
+func TestRunMatchesFreshWorlds(t *testing.T) {
+	pts := testGrid(t)
+	got, _ := Run(pts, Options{Workers: 3, BaseSeed: 7})
+	for i, p := range pts {
+		w, err := sim.NewWorld(p.Tree, p.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(DeriveSeed(7, uint64(i)))))
+		want, err := sim.Run(w, p.NewAlgorithm(p.K, rng), p.MaxRounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Err != nil {
+			t.Fatalf("point %d: %v", i, got[i].Err)
+		}
+		if !reflect.DeepEqual(got[i].Result, want) {
+			t.Errorf("point %d: reused-world result %+v differs from fresh-world %+v", i, got[i].Result, want)
+		}
+		if !got[i].FullyExplored {
+			t.Errorf("point %d: incomplete exploration", i)
+		}
+	}
+}
+
+func TestRunBaseSeedChangesRandomizedPoints(t *testing.T) {
+	tr := tree.Random(600, 10, rand.New(rand.NewSource(5)))
+	mk := func(k int, rng *rand.Rand) sim.Algorithm {
+		return core.NewAlgorithm(k, core.WithPolicy(core.RandomOpen), core.WithRand(rng))
+	}
+	pts := []Point{{Tree: tr, K: 8, NewAlgorithm: mk}}
+	a, _ := Run(pts, Options{BaseSeed: 1})
+	b, _ := Run(pts, Options{BaseSeed: 2})
+	if a[0].Seed == b[0].Seed {
+		t.Error("base seed did not change the derived point seed")
+	}
+	// Different seeds need not change the rounds on every tree, but the
+	// derived seeds must differ and both runs must complete.
+	if a[0].Err != nil || b[0].Err != nil {
+		t.Fatalf("errs: %v, %v", a[0].Err, b[0].Err)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, 2) != DeriveSeed(1, 2) {
+		t.Error("DeriveSeed not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(0, 0) == 0 {
+		t.Error("splitmix64 finalizer should scramble the zero input")
+	}
+}
+
+func TestRunReportsPerPointErrors(t *testing.T) {
+	tr := tree.Path(10)
+	ok := func(k int, _ *rand.Rand) sim.Algorithm { return core.NewAlgorithm(k) }
+	pts := []Point{
+		{Tree: tr, K: 2, NewAlgorithm: ok},
+		{Tree: nil, K: 2, NewAlgorithm: ok},
+		{Tree: tr, K: 0, NewAlgorithm: ok},
+		{Tree: tr, K: 2, NewAlgorithm: nil},
+		{Tree: tr, K: 2, NewAlgorithm: ok},
+	}
+	results, _ := Run(pts, Options{Workers: 2})
+	for _, i := range []int{0, 4} {
+		if results[i].Err != nil {
+			t.Errorf("point %d: unexpected error %v", i, results[i].Err)
+		}
+		if !results[i].FullyExplored {
+			t.Errorf("point %d: incomplete", i)
+		}
+	}
+	for _, i := range []int{1, 2, 3} {
+		if results[i].Err == nil {
+			t.Errorf("point %d: expected error", i)
+		}
+	}
+	if err := JoinErrors(results); err == nil {
+		t.Error("JoinErrors returned nil despite failures")
+	}
+	if err := JoinErrors(results[:1]); err != nil {
+		t.Errorf("JoinErrors on clean results: %v", err)
+	}
+}
+
+func TestRunEmptyAndStats(t *testing.T) {
+	results, stats := Run(nil, Options{})
+	if len(results) != 0 || stats.Points != 0 {
+		t.Fatalf("empty sweep: %v, %+v", results, stats)
+	}
+	pts := testGrid(t)
+	_, stats = Run(pts, Options{Workers: 2, BaseSeed: 3})
+	if stats.Points != len(pts) || stats.Workers != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.PointsPerSec <= 0 || stats.Elapsed <= 0 {
+		t.Errorf("throughput not measured: %+v", stats)
+	}
+	if stats.Utilization < 0 || stats.Utilization > 1.01 {
+		t.Errorf("utilization out of range: %+v", stats)
+	}
+	if stats.String() == "" {
+		t.Error("empty stats line")
+	}
+}

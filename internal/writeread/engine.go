@@ -117,6 +117,10 @@ func NewEngine(t *tree.Tree, k int) (*Engine, error) {
 	return e, nil
 }
 
+// ceilLog2 returns ⌈log₂ x⌉ for x ≥ 1 (exact at powers of two: 2^b needs
+// exactly b). x ≤ 1 returns 0 by convention — a degenerate tree (Δ ≤ 1, a
+// path or single node) needs zero bits per port number. The loop form avoids
+// the float round-trip, which misrounds near large powers of two.
 func ceilLog2(x int) int {
 	b := 0
 	for 1<<b < x {

@@ -1,0 +1,39 @@
+package writeread
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCeilLog2Exhaustive pins ceilLog2 against the float reference
+// math.Ceil(math.Log2(x)) for every x in [0, 4096]. The edge cases the
+// memory accounting depends on:
+//
+//   - x ≤ 1 (degenerate trees): 0 bits by convention — Log2(0) is -Inf and
+//     Log2(1) is 0, both map to 0.
+//   - exact powers of two: ⌈log₂ 2^b⌉ must be exactly b, not b+1 (an
+//     off-by-one here would overstate every robot's memory budget).
+func TestCeilLog2Exhaustive(t *testing.T) {
+	for x := 0; x <= 4096; x++ {
+		want := 0
+		if x > 1 {
+			want = int(math.Ceil(math.Log2(float64(x))))
+		}
+		if got := ceilLog2(x); got != want {
+			t.Fatalf("ceilLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// TestCeilLog2PowersOfTwo spot-checks the exact-power boundary pairs
+// directly, independent of the float reference.
+func TestCeilLog2PowersOfTwo(t *testing.T) {
+	for b := 1; b <= 30; b++ {
+		if got := ceilLog2(1 << b); got != b {
+			t.Errorf("ceilLog2(2^%d) = %d, want %d", b, got, b)
+		}
+		if got := ceilLog2(1<<b + 1); got != b+1 {
+			t.Errorf("ceilLog2(2^%d+1) = %d, want %d", b, got, b+1)
+		}
+	}
+}
