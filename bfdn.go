@@ -19,6 +19,7 @@
 package bfdn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -117,6 +118,43 @@ const (
 	Levelwise
 )
 
+// Algorithms lists every selectable algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{BFDN, BFDNRecursive, CTE, DFS, Levelwise}
+}
+
+// String returns the canonical lower-case name used by the CLIs and the
+// bfdnd HTTP API: bfdn, bfdnl, cte, dfs, levelwise.
+func (a Algorithm) String() string {
+	switch a {
+	case BFDN:
+		return "bfdn"
+	case BFDNRecursive:
+		return "bfdnl"
+	case CTE:
+		return "cte"
+	case DFS:
+		return "dfs"
+	case Levelwise:
+		return "levelwise"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm is the inverse of Algorithm.String; the empty string selects
+// BFDN (matching the zero SweepPoint.Algorithm).
+func ParseAlgorithm(name string) (Algorithm, error) {
+	if name == "" {
+		return BFDN, nil
+	}
+	for _, a := range Algorithms() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("bfdn: unknown algorithm %q", name)
+}
+
 type config struct {
 	alg      Algorithm
 	ell      int
@@ -124,6 +162,12 @@ type config struct {
 	shortcut bool
 	schedule adversary.Schedule
 	seed     int64
+}
+
+// defaultConfig is the single source of Explore's defaults; every entry point
+// (Explore, ExploreTraced, Sweep) starts from it so defaults cannot drift.
+func defaultConfig() config {
+	return config{alg: BFDN, ell: 2, policy: core.LeastLoaded}
 }
 
 // Option configures Explore.
@@ -162,9 +206,11 @@ type Report struct {
 	Moves int64 `json:"moves"`
 	// EdgeExplorations counts first traversals of unknown edges (n−1).
 	EdgeExplorations int `json:"edgeExplorations"`
-	// Bound is the algorithm's applicable guarantee at these parameters
-	// (Theorem 1 for BFDN, Theorem 10 for BFDN_ℓ, 2(n−1) for DFS; 0 when no
-	// closed form applies).
+	// Bound is the algorithm's applicable guarantee at these parameters:
+	// Theorem 1 for BFDN, Theorem 10 for BFDN_ℓ, the Appendix A closed form
+	// n/log k + D for CTE, 2(n−1) for DFS, the O(D²) phase bound for
+	// Levelwise, and Proposition 7 under break-down schedules. It is 0 only
+	// when no closed form applies.
 	Bound float64 `json:"bound"`
 	// OfflineLowerBound is max{2n/k, 2D}, what an offline optimum needs.
 	OfflineLowerBound float64 `json:"offlineLowerBound"`
@@ -173,49 +219,64 @@ type Report struct {
 	AllAtRoot     bool `json:"allAtRoot"`
 }
 
+// newSimAlgorithm constructs the algorithm selected by cfg for a run on t
+// with k robots, together with the algorithm's closed-form guarantee at these
+// parameters. Explore, ExploreTraced and Sweep all build through this one
+// helper so the selection switch cannot drift between entry points.
+func newSimAlgorithm(t *Tree, k int, cfg config) (sim.Algorithm, float64, error) {
+	switch cfg.alg {
+	case BFDN:
+		coreOpts := []core.Option{core.WithPolicy(cfg.policy)}
+		if cfg.shortcut {
+			coreOpts = append(coreOpts, core.WithShortcutReanchor())
+		}
+		return core.NewAlgorithm(k, coreOpts...),
+			bounds.Theorem1(t.N(), t.Depth(), k, t.MaxDegree()), nil
+	case BFDNRecursive:
+		a, err := recursive.NewBFDNL(k, cfg.ell)
+		if err != nil {
+			return nil, 0, err
+		}
+		return a, bounds.Theorem10(t.N(), t.Depth(), k, t.MaxDegree(), cfg.ell), nil
+	case CTE:
+		return cte.New(k),
+			bounds.GuaranteeCTE(float64(t.N()), float64(t.Depth()), k), nil
+	case DFS:
+		return offline.DFS{}, float64(2 * (t.N() - 1)), nil
+	case Levelwise:
+		return levelwise.New(k), levelwise.Bound(t.N(), t.Depth(), k), nil
+	default:
+		return nil, 0, fmt.Errorf("bfdn: unknown algorithm %d", cfg.alg)
+	}
+}
+
 // Explore runs a collaborative exploration of t with k robots and returns
 // the run report.
 func Explore(t *Tree, k int, opts ...Option) (*Report, error) {
-	cfg := config{alg: BFDN, ell: 2, policy: core.LeastLoaded}
+	return ExploreContext(context.Background(), t, k, opts...)
+}
+
+// ExploreContext is Explore with cooperative cancellation: the run is
+// abandoned within one simulated round of ctx expiring, returning the
+// context's error. The bfdnd daemon uses this to stop serving requests whose
+// client has gone away.
+func ExploreContext(ctx context.Context, t *Tree, k int, opts ...Option) (*Report, error) {
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.schedule != nil {
-		return exploreWithBreakdowns(t, k, cfg)
+		return exploreWithBreakdowns(ctx, t, k, cfg)
 	}
-	var alg sim.Algorithm
-	var bound float64
-	switch cfg.alg {
-	case BFDN:
-		var coreOpts []core.Option
-		if cfg.shortcut {
-			coreOpts = append(coreOpts, core.WithShortcutReanchor())
-		}
-		alg = core.NewAlgorithm(k, coreOpts...)
-		bound = bounds.Theorem1(t.N(), t.Depth(), k, t.MaxDegree())
-	case BFDNRecursive:
-		a, err := recursive.NewBFDNL(k, cfg.ell)
-		if err != nil {
-			return nil, err
-		}
-		alg = a
-		bound = bounds.Theorem10(t.N(), t.Depth(), k, t.MaxDegree(), cfg.ell)
-	case CTE:
-		alg = cte.New(k)
-	case DFS:
-		alg = offline.DFS{}
-		bound = float64(2 * (t.N() - 1))
-	case Levelwise:
-		alg = levelwise.New(k)
-		bound = levelwise.Bound(t.N(), t.Depth(), k)
-	default:
-		return nil, fmt.Errorf("bfdn: unknown algorithm %d", cfg.alg)
+	alg, bound, err := newSimAlgorithm(t, k, cfg)
+	if err != nil {
+		return nil, err
 	}
 	w, err := sim.NewWorld(t.t, k)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(w, alg, 0)
+	res, err := sim.RunContext(ctx, w, alg, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +295,7 @@ type scheduleAdapter struct{ s Schedule }
 
 func (a scheduleAdapter) Allowed(round, robot int) bool { return a.s.Allowed(round, robot) }
 
-func exploreWithBreakdowns(t *Tree, k int, cfg config) (*Report, error) {
+func exploreWithBreakdowns(ctx context.Context, t *Tree, k int, cfg config) (*Report, error) {
 	if cfg.alg != BFDN {
 		return nil, fmt.Errorf("bfdn: break-down schedules require the BFDN algorithm")
 	}
@@ -243,7 +304,7 @@ func exploreWithBreakdowns(t *Tree, k int, cfg config) (*Report, error) {
 		return nil, err
 	}
 	a := adversary.New(k, scheduleAdapter{cfg.schedule})
-	res, err := adversary.RunUntilExplored(w, a, 100_000_000)
+	res, err := adversary.RunUntilExploredContext(ctx, w, a, 100_000_000)
 	if err != nil {
 		return nil, err
 	}
@@ -475,86 +536,70 @@ type SweepStats struct {
 // failures land in SweepResult.Err; Sweep itself errors only on points that
 // are invalid before running (nil tree, unknown algorithm, bad ℓ).
 func Sweep(points []SweepPoint, workers int, seed int64) ([]SweepResult, SweepStats, error) {
+	return SweepContext(context.Background(), points, workers, seed)
+}
+
+// SweepContext is Sweep with cooperative cancellation: after ctx expires
+// every worker stops within one simulated round. Points completed before the
+// cancellation keep their results; every other point carries the context's
+// error in SweepResult.Err.
+func SweepContext(ctx context.Context, points []SweepPoint, workers int, seed int64) ([]SweepResult, SweepStats, error) {
+	out := make([]SweepResult, len(points))
+	stats, err := SweepStream(ctx, points, workers, seed, func(i int, r SweepResult) {
+		out[i] = r
+	})
+	if err != nil {
+		return nil, SweepStats{}, err
+	}
+	return out, stats, nil
+}
+
+// SweepStream is SweepContext for consumers that want results as they are
+// produced (the bfdnd daemon streams them as JSONL): onResult is invoked
+// exactly once per point as soon as the point settles — on the worker
+// goroutine that ran it, in completion order, not point order — so it must be
+// safe for concurrent calls. Canceled points are reported too, with Err set.
+func SweepStream(ctx context.Context, points []SweepPoint, workers int, seed int64, onResult func(index int, res SweepResult)) (SweepStats, error) {
 	pts := make([]sweep.Point, len(points))
+	pointBounds := make([]float64, len(points))
 	for i, p := range points {
 		if p.Tree == nil {
-			return nil, SweepStats{}, fmt.Errorf("bfdn: sweep point %d: nil tree", i)
+			return SweepStats{}, fmt.Errorf("bfdn: sweep point %d: nil tree", i)
 		}
-		alg := p.Algorithm
-		if alg == 0 {
-			alg = BFDN
+		cfg := defaultConfig()
+		if p.Algorithm != 0 {
+			cfg.alg = p.Algorithm
 		}
-		ell := p.Ell
-		if ell == 0 {
-			ell = 2
+		if p.Ell != 0 {
+			cfg.ell = p.Ell
 		}
-		switch alg {
-		case BFDN:
-			pts[i] = sweep.Point{Tree: p.Tree.t, K: p.K,
-				NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm { return core.NewAlgorithm(k) }}
-		case BFDNRecursive:
-			if _, err := recursive.NewBFDNL(max(p.K, 1), ell); err != nil {
-				return nil, SweepStats{}, fmt.Errorf("bfdn: sweep point %d: %w", i, err)
-			}
-			pts[i] = sweep.Point{Tree: p.Tree.t, K: p.K,
-				NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
-					a, err := recursive.NewBFDNL(k, ell)
-					if err != nil {
-						return nil
-					}
-					return a
-				}}
-		case CTE:
-			pts[i] = sweep.Point{Tree: p.Tree.t, K: p.K,
-				NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm { return cte.New(k) }}
-		case DFS:
-			pts[i] = sweep.Point{Tree: p.Tree.t, K: p.K,
-				NewAlgorithm: func(int, *rand.Rand) sim.Algorithm { return offline.DFS{} }}
-		case Levelwise:
-			pts[i] = sweep.Point{Tree: p.Tree.t, K: p.K,
-				NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm { return levelwise.New(k) }}
-		default:
-			return nil, SweepStats{}, fmt.Errorf("bfdn: sweep point %d: unknown algorithm %d", i, alg)
+		// Validate the point (and compute its guarantee) up front, with k
+		// clamped so the sweep engine's own k check reports k < 1 per-point.
+		_, bound, err := newSimAlgorithm(p.Tree, max(p.K, 1), cfg)
+		if err != nil {
+			return SweepStats{}, fmt.Errorf("bfdn: sweep point %d: %w", i, err)
+		}
+		pointBounds[i] = bound
+		tr, cfgP := p.Tree, cfg
+		pts[i] = sweep.Point{Tree: tr.t, K: p.K,
+			NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
+				a, _, err := newSimAlgorithm(tr, k, cfgP)
+				if err != nil {
+					return nil
+				}
+				return a
+			}}
+	}
+	var emit func(sweep.Result)
+	if onResult != nil {
+		emit = func(r sweep.Result) {
+			onResult(r.Point, convertSweepResult(points[r.Point], pointBounds[r.Point], r))
 		}
 	}
-	results, stats := sweep.Run(pts, sweep.Options{Workers: workers, BaseSeed: uint64(seed)})
-	out := make([]SweepResult, len(results))
-	for i, r := range results {
-		if r.Err != nil {
-			out[i] = SweepResult{Err: r.Err}
-			continue
-		}
-		p := points[i]
-		alg := p.Algorithm
-		if alg == 0 {
-			alg = BFDN
-		}
-		ell := p.Ell
-		if ell == 0 {
-			ell = 2
-		}
-		var bound float64
-		switch alg {
-		case BFDN:
-			bound = bounds.Theorem1(p.Tree.N(), p.Tree.Depth(), p.K, p.Tree.MaxDegree())
-		case BFDNRecursive:
-			bound = bounds.Theorem10(p.Tree.N(), p.Tree.Depth(), p.K, p.Tree.MaxDegree(), ell)
-		case DFS:
-			bound = float64(2 * (p.Tree.N() - 1))
-		case Levelwise:
-			bound = levelwise.Bound(p.Tree.N(), p.Tree.Depth(), p.K)
-		}
-		out[i] = SweepResult{Report: Report{
-			Rounds:            r.Rounds,
-			Moves:             r.Moves,
-			EdgeExplorations:  r.EdgeExplorations,
-			Bound:             bound,
-			OfflineLowerBound: bounds.OfflineLB(p.Tree.N(), p.Tree.Depth(), p.K),
-			FullyExplored:     r.FullyExplored,
-			AllAtRoot:         r.AllAtRoot,
-		}}
-	}
-	return out, SweepStats{
+	_, stats := sweep.RunContext(ctx, pts, sweep.Options{
+		Workers: workers, BaseSeed: uint64(seed), OnResult: emit,
+	})
+	return SweepStats{
 		Points:         stats.Points,
 		Workers:        stats.Workers,
 		Elapsed:        stats.Elapsed,
@@ -562,6 +607,23 @@ func Sweep(points []SweepPoint, workers int, seed int64) ([]SweepResult, SweepSt
 		AllocsPerPoint: stats.AllocsPerPoint,
 		Utilization:    stats.Utilization,
 	}, nil
+}
+
+// convertSweepResult maps an engine result to the facade form, attaching the
+// point's precomputed guarantee and offline lower bound.
+func convertSweepResult(p SweepPoint, bound float64, r sweep.Result) SweepResult {
+	if r.Err != nil {
+		return SweepResult{Err: r.Err}
+	}
+	return SweepResult{Report: Report{
+		Rounds:            r.Rounds,
+		Moves:             r.Moves,
+		EdgeExplorations:  r.EdgeExplorations,
+		Bound:             bound,
+		OfflineLowerBound: bounds.OfflineLB(p.Tree.N(), p.Tree.Depth(), p.K),
+		FullyExplored:     r.FullyExplored,
+		AllAtRoot:         r.AllAtRoot,
+	}}
 }
 
 // Theorem1Bound evaluates the BFDN guarantee 2n/k + D²(min{log k, log Δ}+3).

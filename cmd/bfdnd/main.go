@@ -1,0 +1,111 @@
+// Command bfdnd is the exploration service daemon: a long-running HTTP
+// server over the bfdn facade and the parallel sweep engine, with bounded
+// admission, per-request deadlines, end-to-end cancellation, and a graceful
+// SIGTERM drain.
+//
+// Usage:
+//
+//	bfdnd                          # listen on :8080
+//	bfdnd -addr :9000 -jobs 8      # 8 concurrent simulation jobs
+//	bfdnd -queue 256 -timeout 30s  # deeper queue, tighter default deadline
+//
+// Endpoints:
+//
+//	POST /v1/explore   one exploration run, JSON report
+//	POST /v1/sweep     a (algorithm × tree × k) grid, streamed as JSONL
+//	GET  /healthz      liveness + load snapshot (503 while draining)
+//	GET  /debug/vars   expvar counters (bfdnd_*)
+//	GET  /debug/pprof/ net/http/pprof profiles
+//
+// On SIGINT/SIGTERM the daemon stops admitting jobs, drains in-flight work
+// (bounded by -drain), then closes the listener.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bfdn/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bfdnd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		jobs         = flag.Int("jobs", 0, "concurrent simulation jobs (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admitted jobs waiting for a slot before 429")
+		sweepWorkers = flag.Int("sweepworkers", 0, "sweep-engine workers per job (0 = GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 60*time.Second, "default per-request simulation deadline")
+		maxTimeout   = flag.Duration("maxtimeout", 10*time.Minute, "cap on client-requested deadlines")
+		maxNodes     = flag.Int("maxnodes", 2_000_000, "largest tree a request may ask for")
+		maxPoints    = flag.Int("maxpoints", 10_000, "most points in one sweep request")
+		drain        = flag.Duration("drain", 30*time.Second, "grace period for in-flight work on shutdown")
+	)
+	flag.Parse()
+	if *jobs < 0 || *sweepWorkers < 0 {
+		return fmt.Errorf("need -jobs ≥ 0 and -sweepworkers ≥ 0 (0 = GOMAXPROCS), got %d and %d", *jobs, *sweepWorkers)
+	}
+	if *queue < 1 || *maxNodes < 1 || *maxPoints < 1 {
+		return fmt.Errorf("need -queue, -maxnodes and -maxpoints ≥ 1")
+	}
+
+	srv := server.New(server.Config{
+		MaxJobs:        *jobs,
+		QueueDepth:     *queue,
+		SweepWorkers:   *sweepWorkers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxNodes:       *maxNodes,
+		MaxPoints:      *maxPoints,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("bfdnd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("bfdnd: signal received, draining (up to %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain jobs first — new work is refused with 503 while existing runs
+	// finish — then close the listener and let idle connections go.
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("bfdnd: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("listener shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("bfdnd: drained, bye")
+	return nil
+}

@@ -47,20 +47,13 @@ func run() error {
 	if *compare {
 		return runCompare(t, *k, *ell)
 	}
-	opts := []bfdn.Option{}
-	switch *algo {
-	case "bfdn":
-		opts = append(opts, bfdn.WithAlgorithm(bfdn.BFDN))
-	case "bfdnl":
-		opts = append(opts, bfdn.WithAlgorithm(bfdn.BFDNRecursive), bfdn.WithEll(*ell))
-	case "cte":
-		opts = append(opts, bfdn.WithAlgorithm(bfdn.CTE))
-	case "dfs":
-		opts = append(opts, bfdn.WithAlgorithm(bfdn.DFS))
-	case "levelwise":
-		opts = append(opts, bfdn.WithAlgorithm(bfdn.Levelwise))
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+	alg, err := bfdn.ParseAlgorithm(*algo)
+	if err != nil {
+		return err
+	}
+	opts := []bfdn.Option{bfdn.WithAlgorithm(alg)}
+	if alg == bfdn.BFDNRecursive {
+		opts = append(opts, bfdn.WithEll(*ell))
 	}
 	if *shortcut {
 		opts = append(opts, bfdn.WithShortcutReanchor())

@@ -48,6 +48,12 @@ func run() error {
 	if *scale < 1 {
 		return fmt.Errorf("need scale ≥ 1, got %d", *scale)
 	}
+	if *parallel < 1 {
+		return fmt.Errorf("need -parallel ≥ 1, got %d", *parallel)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("need -sweepworkers ≥ 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {

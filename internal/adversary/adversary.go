@@ -10,6 +10,8 @@
 package adversary
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -144,8 +146,17 @@ type Result struct {
 // does not stop on all-still rounds: the adversary may block every robot for
 // arbitrarily many rounds.
 func RunUntilExplored(w *sim.World, a *Algorithm, maxRounds int64) (Result, error) {
+	return RunUntilExploredContext(context.Background(), w, a, maxRounds)
+}
+
+// RunUntilExploredContext is RunUntilExplored with cancellation at round
+// granularity, mirroring sim.RunContext.
+func RunUntilExploredContext(ctx context.Context, w *sim.World, a *Algorithm, maxRounds int64) (Result, error) {
 	var events []sim.ExploreEvent
 	for r := int64(0); r < maxRounds && !w.FullyExplored(); r++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("adversary: canceled at round %d: %w", r, err)
+		}
 		moves, err := a.SelectMoves(w.View(), events)
 		if err != nil {
 			return Result{}, err

@@ -1,0 +1,22 @@
+package server
+
+import "expvar"
+
+// The daemon's observability surface, exported via expvar (/debug/vars).
+// expvar names are process-global, so the gauges aggregate over every Server
+// in the process — exactly one in the daemon, possibly several in tests.
+var (
+	// statRequests counts requests per endpoint, keyed "explore" / "sweep".
+	statRequests = expvar.NewMap("bfdnd_requests_total")
+	// statInflight is the number of jobs currently executing.
+	statInflight = expvar.NewInt("bfdnd_jobs_inflight")
+	// statQueued is the number of admitted jobs waiting for a slot.
+	statQueued = expvar.NewInt("bfdnd_jobs_queued")
+	// statRejected counts jobs refused by admission (queue full, draining,
+	// or deadline expired while queued).
+	statRejected = expvar.NewInt("bfdnd_jobs_rejected_total")
+	// statPoints counts sweep points completed across all sweeps.
+	statPoints = expvar.NewInt("bfdnd_sweep_points_total")
+	// statPointsPerSec is the engine throughput of the most recent sweep.
+	statPointsPerSec = expvar.NewFloat("bfdnd_sweep_last_points_per_sec")
+)

@@ -1,0 +1,339 @@
+// Package server implements the bfdnd HTTP daemon: a long-running,
+// cancellation-aware front end over the bfdn facade and the parallel sweep
+// engine (internal/sweep).
+//
+// The daemon is stdlib-only and built around three ideas:
+//
+//   - Bounded admission. Every simulation request is a job. At most
+//     Config.MaxJobs jobs execute concurrently; at most Config.QueueDepth
+//     more may wait for a slot. Requests beyond that are rejected
+//     immediately with 429, so a traffic burst degrades into fast
+//     rejections instead of unbounded memory growth.
+//
+//   - Cancellation end to end. Each job runs under a context derived from
+//     the HTTP request with a per-request deadline; the context reaches
+//     sim.RunContext's per-round check, so a client disconnect or deadline
+//     stops the simulation within one round.
+//
+//   - Graceful drain. Shutdown flips the server into draining mode (new
+//     requests get 503) and waits for every in-flight job to finish, which
+//     is what a SIGTERM handler wants to do before closing the listener.
+//
+// Endpoints: POST /v1/explore (one exploration, JSON report), POST /v1/sweep
+// (a grid of runs, streamed as JSONL in point order), GET /healthz, plus
+// expvar under /debug/vars and net/http/pprof under /debug/pprof/.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	netpprof "net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bfdn"
+)
+
+// Config tunes the daemon. The zero value selects sensible defaults.
+type Config struct {
+	// MaxJobs is the number of simulation jobs executing concurrently;
+	// ≤ 0 selects GOMAXPROCS.
+	MaxJobs int
+	// QueueDepth is how many admitted jobs may wait for an execution slot
+	// before new requests are rejected with 429; ≤ 0 selects 64.
+	QueueDepth int
+	// SweepWorkers is the worker-pool size inside each sweep job; ≤ 0
+	// selects GOMAXPROCS. Total simulation parallelism is bounded by
+	// MaxJobs × SweepWorkers.
+	SweepWorkers int
+	// DefaultTimeout bounds a request's simulation when the request does
+	// not set timeoutMs; ≤ 0 selects 60s. MaxTimeout caps client-requested
+	// deadlines; ≤ 0 selects 10m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxNodes caps the tree size a request may ask for (≤ 0 → 2,000,000);
+	// MaxPoints caps the number of points in one sweep (≤ 0 → 10,000).
+	MaxNodes  int
+	MaxPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 2_000_000
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = 10_000
+	}
+	return c
+}
+
+// Server is the daemon state behind the HTTP handler. Create with New; the
+// zero value is not usable.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	// sem holds one token per executing job; queued counts jobs waiting
+	// for a token (bounded by cfg.QueueDepth).
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// mu guards closing; jobs tracks handlers between beginJob and endJob
+	// so Shutdown can drain them.
+	mu      sync.Mutex
+	closing bool
+	jobs    sync.WaitGroup
+
+	inflight atomic.Int64
+	served   atomic.Int64
+	rejected atomic.Int64
+
+	// testJobStart, when non-nil, runs at the start of every job with its
+	// execution slot held. Tests use it to hold jobs open deterministically.
+	testJobStart func()
+}
+
+// New builds a Server; serve its Handler with net/http (or httptest).
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		start: time.Now(),
+	}
+	s.sem = make(chan struct{}, s.cfg.MaxJobs)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new jobs are refused with 503 immediately,
+// and Shutdown blocks until every in-flight job (executing or queued) has
+// finished or ctx expires. It is the SIGTERM half of a graceful stop; close
+// the listener (http.Server.Shutdown) after it returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %d jobs still in flight: %w", s.inflight.Load(), ctx.Err())
+	}
+}
+
+// Inflight reports the number of jobs currently executing (not queued).
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing
+}
+
+// errQueueFull is mapped to 429 by the handlers.
+var errQueueFull = errors.New("server: job queue full")
+
+// beginJob admits a request into the drain-tracked job set. It fails only
+// when the server is draining; every successful call must be paired with
+// endJob.
+func (s *Server) beginJob() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.jobs.Add(1)
+	return true
+}
+
+func (s *Server) endJob() { s.jobs.Done() }
+
+// acquireSlot blocks until a job execution slot is free, the queue bound is
+// exceeded (errQueueFull), or ctx expires. Pair with releaseSlot.
+func (s *Server) acquireSlot(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		return errQueueFull
+	}
+	statQueued.Add(1)
+	defer func() {
+		s.queued.Add(-1)
+		statQueued.Add(-1)
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.sem }
+
+// requestContext derives the job context: the request's context (canceled on
+// client disconnect) plus the per-request deadline.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// runJob funnels every endpoint through the same admission path: drain
+// check, queue-bounded slot acquisition, gauges, and the test hook. job runs
+// with the slot held.
+func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, job func()) bool {
+	if !s.beginJob() {
+		s.rejected.Add(1)
+		statRejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	defer s.endJob()
+	if err := s.acquireSlot(ctx); err != nil {
+		s.rejected.Add(1)
+		statRejected.Add(1)
+		if errors.Is(err, errQueueFull) {
+			writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "deadline expired while queued")
+		}
+		return false
+	}
+	defer s.releaseSlot()
+	s.inflight.Add(1)
+	statInflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		statInflight.Add(-1)
+		s.served.Add(1)
+	}()
+	if s.testJobStart != nil {
+		s.testJobStart()
+	}
+	job()
+	return true
+}
+
+type healthResponse struct {
+	Status   string `json:"status"`
+	UptimeMS int64  `json:"uptimeMs"`
+	Inflight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+	Served   int64  `json:"served"`
+	Rejected int64  `json:"rejected"`
+	MaxJobs  int    `json:"maxJobs"`
+	Queue    int    `json:"queueDepth"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{
+		Status:   "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Inflight: s.inflight.Load(),
+		Queued:   s.queued.Load(),
+		Served:   s.served.Load(),
+		Rejected: s.rejected.Load(),
+		MaxJobs:  s.cfg.MaxJobs,
+		Queue:    s.cfg.QueueDepth,
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		// Load balancers read 503 as "stop routing here" during drain.
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // client disconnects are not server errors
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// decodeJSON reads a size-limited JSON body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	const maxBody = 8 << 20 // parents arrays for large trees fit well within 8 MiB
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+// buildTree materializes a request's tree: an explicit parent array when
+// given, a generator family otherwise.
+func (s *Server) buildTree(family string, n, depth int, seed int64, parents []int32) (*bfdn.Tree, error) {
+	if len(parents) > 0 {
+		if len(parents) > s.cfg.MaxNodes {
+			return nil, fmt.Errorf("tree has %d nodes, limit is %d", len(parents), s.cfg.MaxNodes)
+		}
+		return bfdn.NewTree(parents)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("need n ≥ 1, got %d", n)
+	}
+	if n > s.cfg.MaxNodes {
+		return nil, fmt.Errorf("n = %d exceeds the limit %d", n, s.cfg.MaxNodes)
+	}
+	return bfdn.GenerateTree(bfdn.Family(family), n, depth, seed)
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"bfdn"
+)
+
+// sweepRequest is the POST /v1/sweep body: a grid of independent runs
+// executed on the sweep engine and streamed back as JSONL, one line per
+// point in point order, as points complete.
+type sweepRequest struct {
+	// Seed scrambles the engine's deterministic per-point randomness.
+	Seed int64 `json:"seed"`
+	// TimeoutMS bounds the whole sweep (default/cap as for /v1/explore).
+	TimeoutMS int64            `json:"timeoutMs"`
+	Points    []sweepPointSpec `json:"points"`
+}
+
+type sweepPointSpec struct {
+	Family    string `json:"family"`
+	N         int    `json:"n"`
+	Depth     int    `json:"depth"`
+	TreeSeed  int64  `json:"treeSeed"`
+	K         int    `json:"k"`
+	Algorithm string `json:"algorithm"`
+	Ell       int    `json:"ell"`
+}
+
+// sweepLine is one streamed JSONL record. Point lines carry exactly one of
+// Report/Error; the final line has Point = -1, Done = true, and the engine
+// stats.
+type sweepLine struct {
+	Point  int          `json:"point"`
+	Report *bfdn.Report `json:"report,omitempty"`
+	Error  string       `json:"error,omitempty"`
+
+	Done         bool    `json:"done,omitempty"`
+	Points       int     `json:"points,omitempty"`
+	PointsPerSec float64 `json:"pointsPerSec,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	statRequests.Add("sweep", 1)
+	var req sweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "need at least one point")
+		return
+	}
+	if len(req.Points) > s.cfg.MaxPoints {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("sweep has %d points, limit is %d", len(req.Points), s.cfg.MaxPoints))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	s.runJob(ctx, w, func() {
+		// Materialize the grid. Sweeps routinely reuse one tree spec across
+		// many k values; trees are immutable, so identical specs share one.
+		points := make([]bfdn.SweepPoint, len(req.Points))
+		type treeKey struct {
+			family   string
+			n, depth int
+			seed     int64
+		}
+		trees := make(map[treeKey]*bfdn.Tree)
+		for i, p := range req.Points {
+			if p.K < 1 {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: need k ≥ 1", i))
+				return
+			}
+			alg, err := bfdn.ParseAlgorithm(p.Algorithm)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
+				return
+			}
+			key := treeKey{p.Family, p.N, p.Depth, p.TreeSeed}
+			t, ok := trees[key]
+			if !ok {
+				t, err = s.buildTree(p.Family, p.N, p.Depth, p.TreeSeed, nil)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
+					return
+				}
+				trees[key] = t
+			}
+			points[i] = bfdn.SweepPoint{Tree: t, K: p.K, Algorithm: alg, Ell: p.Ell}
+		}
+
+		// Headers are set now but only flushed on the first body write, so a
+		// validation failure inside SweepStream (before any point has run)
+		// can still turn into a clean 400 below.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Accel-Buffering", "no")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+
+		// Emit lines strictly in point order. Workers report completions in
+		// arbitrary order; lines are buffered until their index is next, so
+		// the stream is byte-identical at any worker count.
+		var mu sync.Mutex
+		pending := make(map[int]sweepLine)
+		next := 0
+		write := func(l sweepLine) {
+			_ = enc.Encode(l) // a dead client just discards the stream
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		emit := func(i int, res bfdn.SweepResult) {
+			line := sweepLine{Point: i}
+			if res.Err != nil {
+				line.Error = res.Err.Error()
+			} else {
+				rep := res.Report
+				line.Report = &rep
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			pending[i] = line
+			for {
+				l, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				write(l)
+			}
+		}
+
+		stats, err := bfdn.SweepStream(ctx, points, s.cfg.SweepWorkers, req.Seed, emit)
+		if err != nil {
+			// SweepStream validates every point before running anything, so
+			// on error no line has been written and the status is still ours.
+			w.Header().Del("X-Accel-Buffering")
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		statPoints.Add(int64(stats.Points))
+		statPointsPerSec.Set(stats.PointsPerSec)
+		mu.Lock()
+		write(sweepLine{Point: -1, Done: true, Points: stats.Points,
+			PointsPerSec: stats.PointsPerSec, Workers: stats.Workers})
+		mu.Unlock()
+	})
+}

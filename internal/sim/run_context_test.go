@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"bfdn/internal/tree"
+)
+
+// cancelAfter wraps an Algorithm and cancels the context after n rounds.
+type cancelAfter struct {
+	inner  Algorithm
+	rounds int
+	cancel context.CancelFunc
+	seen   int
+}
+
+func (c *cancelAfter) SelectMoves(v *View, prev []ExploreEvent) ([]Move, error) {
+	c.seen++
+	if c.seen == c.rounds {
+		c.cancel()
+	}
+	return c.inner.SelectMoves(v, prev)
+}
+
+func TestRunContextCancelsMidRun(t *testing.T) {
+	tr := tree.Path(200)
+	w, err := NewWorld(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	alg := &cancelAfter{inner: soloDFS{}, rounds: 10, cancel: cancel}
+	_, err = RunContext(ctx, w, alg, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	// Cancellation is round-granular: exactly one more SelectMoves call may
+	// complete after the cancel fires, never a full run.
+	if alg.seen > 11 {
+		t.Errorf("algorithm consulted %d times after cancel at round 10", alg.seen)
+	}
+	if w.FullyExplored() {
+		t.Error("run completed despite cancellation")
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	w, err := NewWorld(tree.Path(10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, w, soloDFS{}, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if got := w.Round(); got != 0 {
+		t.Errorf("pre-canceled run advanced to round %d", got)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		w1, _ := NewWorld(tree.KAry(2, 6), k)
+		w2, _ := NewWorld(tree.KAry(2, 6), k)
+		r1, err1 := Run(w1, soloDFS{}, 0)
+		r2, err2 := RunContext(context.Background(), w2, soloDFS{}, 0)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errs: %v, %v", err1, err2)
+		}
+		if r1.Rounds != r2.Rounds || r1.Moves != r2.Moves ||
+			r1.FullyExplored != r2.FullyExplored || r1.AllAtRoot != r2.AllAtRoot {
+			t.Errorf("k=%d: Run=%+v RunContext=%+v", k, r1, r2)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -325,12 +326,24 @@ var ErrRoundLimit = errors.New("sim: round limit exceeded")
 // elapsed. maxRounds ≤ 0 selects the cap 3·D·n + 2·D + 4 implied by the
 // paper's termination argument.
 func Run(w *World, a Algorithm, maxRounds int64) (Result, error) {
+	return RunContext(context.Background(), w, a, maxRounds)
+}
+
+// RunContext is Run with cancellation at round granularity: the context is
+// checked once per round before the algorithm is consulted, so an abandoned
+// run stops burning CPU within one round. On cancellation it returns the
+// context's error (wrapped; test with errors.Is) and a zero Result; the
+// world is left mid-run in a consistent state.
+func RunContext(ctx context.Context, w *World, a Algorithm, maxRounds int64) (Result, error) {
 	if maxRounds <= 0 {
 		n, d := int64(w.t.N()), int64(w.t.Depth())
 		maxRounds = 3*n*d + 2*d + 4
 	}
 	var events []ExploreEvent
 	for r := int64(0); r < maxRounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("sim: canceled at round %d: %w", w.round, err)
+		}
 		moves, err := a.SelectMoves(w.view, events)
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: round %d: %w", w.round, err)

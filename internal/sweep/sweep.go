@@ -12,6 +12,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -85,6 +86,12 @@ type Options struct {
 	Workers int
 	// BaseSeed scrambles every per-point seed (DeriveSeed).
 	BaseSeed uint64
+	// OnResult, when non-nil, is invoked exactly once per point as soon as
+	// its Result is final — on the worker goroutine that produced it, in
+	// completion order (not point order). Canceled points are reported too,
+	// with Err set. Implementations must be safe for concurrent calls; slow
+	// callbacks stall the worker that runs them.
+	OnResult func(Result)
 }
 
 // DeriveSeed maps (base, index) to a per-point seed with the splitmix64
@@ -103,6 +110,16 @@ func DeriveSeed(base, index uint64) uint64 {
 // Run itself never fails. Each worker recycles a single sim.World across the
 // points it executes.
 func Run(points []Point, opt Options) ([]Result, Stats) {
+	return RunContext(context.Background(), points, opt)
+}
+
+// RunContext is Run with cooperative cancellation. The context is checked
+// before each point is started and once per simulated round inside a running
+// point (sim.RunContext), so after cancellation every worker stops within one
+// round. RunContext still returns one Result per point: points that finished
+// before the cancellation keep their results, and every other point carries
+// the context's error in Result.Err — partial results are never discarded.
+func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Stats) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -128,14 +145,27 @@ func Run(points []Point, opt Options) ([]Result, Stats) {
 		go func(wk int) {
 			defer wg.Done()
 			var world *sim.World
+			// Busy time accumulates in a goroutine-local variable and is
+			// stored once at exit: adjacent busy[wk] slots share cache lines,
+			// and a per-point store from every worker would ping-pong them.
+			var busyLocal time.Duration
+			defer func() { busy[wk] = busyLocal }()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
 					return
 				}
-				t0 := time.Now()
-				results[i] = runPoint(&world, points[i], i, opt.BaseSeed)
-				busy[wk] += time.Since(t0)
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Point: i, Seed: DeriveSeed(opt.BaseSeed, uint64(i)),
+						Err: fmt.Errorf("sweep: point %d: %w", i, err)}
+				} else {
+					t0 := time.Now()
+					results[i] = runPoint(ctx, &world, points[i], i, opt.BaseSeed)
+					busyLocal += time.Since(t0)
+				}
+				if opt.OnResult != nil {
+					opt.OnResult(results[i])
+				}
 			}
 		}(wk)
 	}
@@ -161,7 +191,7 @@ func Run(points []Point, opt Options) ([]Result, Stats) {
 // runPoint executes one point on the worker's recycled world. world is the
 // worker-local slot: nil before the first point, reused (via Reset)
 // afterwards.
-func runPoint(world **sim.World, p Point, index int, baseSeed uint64) Result {
+func runPoint(ctx context.Context, world **sim.World, p Point, index int, baseSeed uint64) Result {
 	res := Result{Point: index, Seed: DeriveSeed(baseSeed, uint64(index))}
 	if p.Tree == nil {
 		res.Err = fmt.Errorf("sweep: point %d: nil tree", index)
@@ -190,7 +220,7 @@ func runPoint(world **sim.World, p Point, index int, baseSeed uint64) Result {
 		res.Err = fmt.Errorf("sweep: point %d: algorithm factory returned nil", index)
 		return res
 	}
-	r, err := sim.Run(w, alg, p.MaxRounds)
+	r, err := sim.RunContext(ctx, w, alg, p.MaxRounds)
 	if err != nil {
 		res.Err = fmt.Errorf("sweep: point %d: %w", index, err)
 		return res

@@ -3,11 +3,6 @@ package bfdn
 import (
 	"fmt"
 
-	"bfdn/internal/core"
-	"bfdn/internal/cte"
-	"bfdn/internal/levelwise"
-	"bfdn/internal/offline"
-	"bfdn/internal/recursive"
 	"bfdn/internal/sim"
 	"bfdn/internal/trace"
 	"bfdn/internal/tree"
@@ -23,40 +18,16 @@ type Trace struct {
 // returns a Trace of the run. every limits recording to one frame per that
 // many rounds (≤ 1 records all). Break-down schedules are not supported.
 func ExploreTraced(t *Tree, k int, every int, opts ...Option) (*Report, *Trace, error) {
-	cfg := config{alg: BFDN, ell: 2}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.schedule != nil {
 		return nil, nil, fmt.Errorf("bfdn: tracing with break-downs is not supported")
 	}
-	var inner sim.Algorithm
-	var bound float64
-	switch cfg.alg {
-	case BFDN:
-		var coreOpts []core.Option
-		if cfg.shortcut {
-			coreOpts = append(coreOpts, core.WithShortcutReanchor())
-		}
-		inner = core.NewAlgorithm(k, coreOpts...)
-		bound = Theorem1Bound(t.N(), t.Depth(), k, t.MaxDegree())
-	case BFDNRecursive:
-		a, err := recursive.NewBFDNL(k, cfg.ell)
-		if err != nil {
-			return nil, nil, err
-		}
-		inner = a
-		bound = Theorem10Bound(t.N(), t.Depth(), k, t.MaxDegree(), cfg.ell)
-	case CTE:
-		inner = cte.New(k)
-	case DFS:
-		inner = offline.DFS{}
-		bound = float64(2 * (t.N() - 1))
-	case Levelwise:
-		inner = levelwise.New(k)
-		bound = levelwise.Bound(t.N(), t.Depth(), k)
-	default:
-		return nil, nil, fmt.Errorf("bfdn: unknown algorithm %d", cfg.alg)
+	inner, bound, err := newSimAlgorithm(t, k, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 	rec := trace.NewRecorder(inner)
 	if every > 1 {
