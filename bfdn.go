@@ -162,6 +162,7 @@ type config struct {
 	shortcut bool
 	schedule adversary.Schedule
 	seed     int64
+	progress func(Progress)
 }
 
 // defaultConfig is the single source of Explore's defaults; every entry point
@@ -181,6 +182,22 @@ func WithEll(ell int) Option { return func(c *config) { c.ell = ell } }
 
 // WithShortcutReanchor enables BFDN's in-place re-anchoring ablation.
 func WithShortcutReanchor() Option { return func(c *config) { c.shortcut = true } }
+
+// Progress is the per-round snapshot streamed to a WithProgress observer:
+// the committed round count, explored nodes so far, and total moves — the
+// quantities the paper's analysis tracks, at gauge granularity.
+type Progress struct {
+	Round    int
+	Explored int
+	Moves    int64
+}
+
+// WithProgress installs an observer invoked after every simulated round.
+// Long explorations can stream round and explored-node progress into live
+// gauges without paying for the full trace recorder; the bfdnd daemon feeds
+// its bfdnd_sim_* counters this way. The observer runs on the simulating
+// goroutine — keep it to a few atomic updates.
+func WithProgress(f func(Progress)) Option { return func(c *config) { c.progress = f } }
 
 // Schedule decides, per round and robot, whether the robot may move (§4.2).
 type Schedule interface {
@@ -276,6 +293,10 @@ func ExploreContext(ctx context.Context, t *Tree, k int, opts ...Option) (*Repor
 	if err != nil {
 		return nil, err
 	}
+	if cfg.progress != nil {
+		f := cfg.progress
+		w.SetObserver(func(p sim.Progress) { f(Progress(p)) })
+	}
 	res, err := sim.RunContext(ctx, w, alg, 0)
 	if err != nil {
 		return nil, err
@@ -302,6 +323,10 @@ func exploreWithBreakdowns(ctx context.Context, t *Tree, k int, cfg config) (*Re
 	w, err := sim.NewWorld(t.t, k)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.progress != nil {
+		f := cfg.progress
+		w.SetObserver(func(p sim.Progress) { f(Progress(p)) })
 	}
 	a := adversary.New(k, scheduleAdapter{cfg.schedule})
 	res, err := adversary.RunUntilExploredContext(ctx, w, a, 100_000_000)
@@ -526,6 +551,23 @@ type SweepStats struct {
 	// Utilization is mean worker busy time over elapsed time (1 = all
 	// workers simulated the whole sweep).
 	Utilization float64 `json:"utilization"`
+	// Errors is the number of points whose SweepResult carried an error
+	// (including points canceled by the context).
+	Errors int `json:"errors"`
+}
+
+// EngineOption tunes the sweep engine behind Sweep/SweepContext/SweepStream.
+// Unlike Option these act on the execution machinery, not the algorithm.
+type EngineOption func(*sweep.Options)
+
+// WithSweepRecorder attaches an engine metrics recorder to a sweep: point
+// latency and queue-wait histograms plus monotonic totals, merged into the
+// recorder's registry atomically when the sweep completes. The bfdnd daemon
+// uses this to keep bfdnd_sweep_* totals consistent under concurrent sweeps.
+// Only in-module callers can construct a *sweep.Recorder (the package is
+// internal); external consumers read the same numbers from GET /metrics.
+func WithSweepRecorder(rec *sweep.Recorder) EngineOption {
+	return func(o *sweep.Options) { o.Recorder = rec }
 }
 
 // Sweep executes a grid of independent exploration runs on a sharded worker
@@ -535,19 +577,19 @@ type SweepStats struct {
 // arrive in point order and are identical at any worker count. Per-point
 // failures land in SweepResult.Err; Sweep itself errors only on points that
 // are invalid before running (nil tree, unknown algorithm, bad ℓ).
-func Sweep(points []SweepPoint, workers int, seed int64) ([]SweepResult, SweepStats, error) {
-	return SweepContext(context.Background(), points, workers, seed)
+func Sweep(points []SweepPoint, workers int, seed int64, engineOpts ...EngineOption) ([]SweepResult, SweepStats, error) {
+	return SweepContext(context.Background(), points, workers, seed, engineOpts...)
 }
 
 // SweepContext is Sweep with cooperative cancellation: after ctx expires
 // every worker stops within one simulated round. Points completed before the
 // cancellation keep their results; every other point carries the context's
 // error in SweepResult.Err.
-func SweepContext(ctx context.Context, points []SweepPoint, workers int, seed int64) ([]SweepResult, SweepStats, error) {
+func SweepContext(ctx context.Context, points []SweepPoint, workers int, seed int64, engineOpts ...EngineOption) ([]SweepResult, SweepStats, error) {
 	out := make([]SweepResult, len(points))
 	stats, err := SweepStream(ctx, points, workers, seed, func(i int, r SweepResult) {
 		out[i] = r
-	})
+	}, engineOpts...)
 	if err != nil {
 		return nil, SweepStats{}, err
 	}
@@ -559,7 +601,7 @@ func SweepContext(ctx context.Context, points []SweepPoint, workers int, seed in
 // exactly once per point as soon as the point settles — on the worker
 // goroutine that ran it, in completion order, not point order — so it must be
 // safe for concurrent calls. Canceled points are reported too, with Err set.
-func SweepStream(ctx context.Context, points []SweepPoint, workers int, seed int64, onResult func(index int, res SweepResult)) (SweepStats, error) {
+func SweepStream(ctx context.Context, points []SweepPoint, workers int, seed int64, onResult func(index int, res SweepResult), engineOpts ...EngineOption) (SweepStats, error) {
 	pts := make([]sweep.Point, len(points))
 	pointBounds := make([]float64, len(points))
 	for i, p := range points {
@@ -596,9 +638,11 @@ func SweepStream(ctx context.Context, points []SweepPoint, workers int, seed int
 			onResult(r.Point, convertSweepResult(points[r.Point], pointBounds[r.Point], r))
 		}
 	}
-	_, stats := sweep.RunContext(ctx, pts, sweep.Options{
-		Workers: workers, BaseSeed: uint64(seed), OnResult: emit,
-	})
+	opt := sweep.Options{Workers: workers, BaseSeed: uint64(seed), OnResult: emit}
+	for _, eo := range engineOpts {
+		eo(&opt)
+	}
+	_, stats := sweep.RunContext(ctx, pts, opt)
 	return SweepStats{
 		Points:         stats.Points,
 		Workers:        stats.Workers,
@@ -606,6 +650,7 @@ func SweepStream(ctx context.Context, points []SweepPoint, workers int, seed int
 		PointsPerSec:   stats.PointsPerSec,
 		AllocsPerPoint: stats.AllocsPerPoint,
 		Utilization:    stats.Utilization,
+		Errors:         stats.Errors,
 	}, nil
 }
 

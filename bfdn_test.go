@@ -28,6 +28,36 @@ func TestExploreDefaultBFDN(t *testing.T) {
 	}
 }
 
+func TestExploreWithProgress(t *testing.T) {
+	tr, err := GenerateTree(FamilyRandom, 800, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Progress
+	rep, err := Explore(tr, 6, WithProgress(func(p Progress) { snaps = append(snaps, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The observer fires once per committed round, including all-stay rounds
+	// the report's T (rounds with at least one move) does not count.
+	if len(snaps) < rep.Rounds {
+		t.Fatalf("observer saw %d rounds, report counts %d moving rounds", len(snaps), rep.Rounds)
+	}
+	for i, p := range snaps {
+		if p.Round != i+1 {
+			t.Fatalf("snapshot %d has round %d", i, p.Round)
+		}
+		if i > 0 && (p.Explored < snaps[i-1].Explored || p.Moves < snaps[i-1].Moves) {
+			t.Fatalf("progress regressed at round %d: %+v after %+v", p.Round, p, snaps[i-1])
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Explored != tr.N() || last.Moves != rep.Moves {
+		t.Fatalf("final snapshot %+v disagrees with report (n=%d, moves=%d)",
+			last, tr.N(), rep.Moves)
+	}
+}
+
 func TestSweepMatchesExplore(t *testing.T) {
 	tr1, err := GenerateTree(FamilyRandom, 1200, 18, 7)
 	if err != nil {

@@ -8,14 +8,20 @@
 //	bfdnd                          # listen on :8080
 //	bfdnd -addr :9000 -jobs 8      # 8 concurrent simulation jobs
 //	bfdnd -queue 256 -timeout 30s  # deeper queue, tighter default deadline
+//	bfdnd -logjson                 # structured logs as JSON lines
 //
 // Endpoints:
 //
 //	POST /v1/explore   one exploration run, JSON report
 //	POST /v1/sweep     a (algorithm × tree × k) grid, streamed as JSONL
 //	GET  /healthz      liveness + load snapshot (503 while draining)
-//	GET  /debug/vars   expvar counters (bfdnd_*)
+//	GET  /metrics      Prometheus text exposition (bfdnd_*)
+//	GET  /debug/vars   thin expvar-compatible view of the same counters
 //	GET  /debug/pprof/ net/http/pprof profiles
+//
+// Logging is structured (log/slog) on stderr: text by default, JSON lines
+// with -logjson. Every admitted job logs start and completion records keyed
+// by the job ID also returned in the X-Bfdnd-Job response header.
 //
 // On SIGINT/SIGTERM the daemon stops admitting jobs, drains in-flight work
 // (bounded by -drain), then closes the listener.
@@ -26,7 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,6 +60,7 @@ func run() error {
 		maxNodes     = flag.Int("maxnodes", 2_000_000, "largest tree a request may ask for")
 		maxPoints    = flag.Int("maxpoints", 10_000, "most points in one sweep request")
 		drain        = flag.Duration("drain", 30*time.Second, "grace period for in-flight work on shutdown")
+		logJSON      = flag.Bool("logjson", false, "emit structured logs as JSON lines (default: text)")
 	)
 	flag.Parse()
 	if *jobs < 0 || *sweepWorkers < 0 {
@@ -63,6 +70,14 @@ func run() error {
 		return fmt.Errorf("need -queue, -maxnodes and -maxpoints ≥ 1")
 	}
 
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
 	srv := server.New(server.Config{
 		MaxJobs:        *jobs,
 		QueueDepth:     *queue,
@@ -71,6 +86,7 @@ func run() error {
 		MaxTimeout:     *maxTimeout,
 		MaxNodes:       *maxNodes,
 		MaxPoints:      *maxPoints,
+		Logger:         logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -83,7 +99,7 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("bfdnd listening on %s", *addr)
+	logger.Info("listening", "addr", *addr, "jobs", *jobs, "queue", *queue)
 
 	select {
 	case err := <-errc:
@@ -92,13 +108,13 @@ func run() error {
 	}
 	stop() // a second signal kills the process the default way
 
-	log.Printf("bfdnd: signal received, draining (up to %s)", *drain)
+	logger.Info("draining", "grace", drain.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Drain jobs first — new work is refused with 503 while existing runs
 	// finish — then close the listener and let idle connections go.
 	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("bfdnd: drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "err", err.Error())
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("listener shutdown: %w", err)
@@ -106,6 +122,6 @@ func run() error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("bfdnd: drained, bye")
+	logger.Info("shutdown complete")
 	return nil
 }

@@ -10,6 +10,8 @@
 //	experiments -scale 3           # larger workloads
 //	experiments -csv               # machine-readable output
 //	experiments -sweepstats        # per-sweep engine throughput on stderr
+//	experiments -metrics -         # dump suite-wide engine metrics to stderr
+//	experiments -metrics m.prom    # ... or to a file, Prometheus text format
 //	experiments -cpuprofile cpu.pp # write a pprof CPU profile
 //	experiments -memprofile mem.pp # write a pprof heap profile
 package main
@@ -17,12 +19,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sync"
 
 	"bfdn/internal/exp"
+	"bfdn/internal/obs"
 	"bfdn/internal/sweep"
 )
 
@@ -41,6 +45,7 @@ func run() error {
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently")
 		workers    = flag.Int("sweepworkers", 0, "sweep-engine workers per experiment (0 = GOMAXPROCS)")
 		sweepStats = flag.Bool("sweepstats", false, "print per-sweep engine stats to stderr")
+		metricsOut = flag.String("metrics", "", `dump suite-wide engine metrics in Prometheus text format ("-" = stderr)`)
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -74,7 +79,28 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "sweep %s: %s\n", label, s)
 		}
 	}
+	// With -metrics, every sweep in the suite merges its point-latency
+	// histograms and totals into one registry, dumped after the run.
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		cfg.Recorder = sweep.NewRecorder(reg)
+	}
 	reports, err := exp.RunAllParallel(cfg, *parallel)
+	if reg != nil {
+		var w io.Writer = os.Stderr
+		if *metricsOut != "-" {
+			f, ferr := os.Create(*metricsOut)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			w = f
+		}
+		if werr := reg.WritePrometheus(w); werr != nil {
+			return fmt.Errorf("write metrics: %w", werr)
+		}
+	}
 	violations := 0
 	for _, r := range reports {
 		fmt.Printf("=== %s — %s ===\n", r.ID, r.Description)

@@ -30,6 +30,11 @@ type Config struct {
 	// be safe for concurrent use: RunAllParallel calls it from several
 	// experiment goroutines.
 	StatsSink func(label string, s sweep.Stats)
+	// Recorder, when non-nil, accumulates every sweep's point-latency
+	// histograms and totals across the whole suite (engine merges are atomic,
+	// so concurrent experiments compose exactly). cmd/experiments dumps the
+	// backing registry with -metrics.
+	Recorder *sweep.Recorder
 }
 
 // DefaultConfig is the CI-sized configuration.
@@ -63,6 +68,7 @@ func runSweep(cfg Config, label string, pts []sweep.Point) ([]sim.Result, error)
 	results, stats := sweep.Run(pts, sweep.Options{
 		Workers:  cfg.Workers,
 		BaseSeed: uint64(cfg.Seed),
+		Recorder: cfg.Recorder,
 	})
 	if cfg.StatsSink != nil {
 		cfg.StatsSink(label, stats)

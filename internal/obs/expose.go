@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per family,
+// then one sample line per child (plus _bucket/_sum/_count lines for
+// histograms). Families render in registration order, children sorted by
+// label values, so the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		f.write(&b)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves WritePrometheus over HTTP with the exposition content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w) // a dead scraper is not a server error
+	})
+}
+
+func (f *family) write(b *strings.Builder) {
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	children := make([]any, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.RUnlock()
+
+	for i, key := range keys {
+		var values []string
+		if len(f.labels) > 0 {
+			values = strings.Split(key, keySep)
+		}
+		switch c := children[i].(type) {
+		case *Counter:
+			f.writeSample(b, "", values, "", strconv.FormatUint(c.Value(), 10))
+		case *FloatCounter:
+			f.writeSample(b, "", values, "", formatFloat(c.Value()))
+		case *Gauge:
+			f.writeSample(b, "", values, "", formatFloat(c.Value()))
+		case *Histogram:
+			counts, count, sum := c.snapshot()
+			var cum uint64
+			for j, n := range counts {
+				cum += n
+				le := "+Inf"
+				if j < len(c.bounds) {
+					le = formatFloat(c.bounds[j])
+				}
+				f.writeSample(b, "_bucket", values, le, strconv.FormatUint(cum, 10))
+			}
+			f.writeSample(b, "_sum", values, "", formatFloat(sum))
+			f.writeSample(b, "_count", values, "", strconv.FormatUint(count, 10))
+		}
+	}
+}
+
+// writeSample renders one line: name[suffix]{labels,le} value. le non-empty
+// appends the histogram bucket label.
+func (f *family) writeSample(b *strings.Builder, suffix string, values []string, le, value string) {
+	b.WriteString(f.name)
+	b.WriteString(suffix)
+	if len(values) > 0 || le != "" {
+		b.WriteByte('{')
+		for i, l := range f.labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if le != "" {
+			if len(values) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

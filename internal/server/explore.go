@@ -39,7 +39,6 @@ type exploreResponse struct {
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	statRequests.Add("explore", 1)
 	var req exploreRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -60,14 +59,25 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	s.runJob(ctx, w, func() {
+	s.runJob(ctx, w, "explore", func() {
 		t, err := s.buildTree(req.Family, req.N, req.Depth, req.TreeSeed, req.Parents)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		// Stream live progress into the registry: one round and an explored-
+		// node delta per simulated round. The observer runs on the single
+		// simulating goroutine, so prevExplored needs no synchronization.
+		prevExplored := 0
+		runOpts := append(opts, bfdn.WithProgress(func(p bfdn.Progress) {
+			s.m.simRounds.Inc()
+			if d := p.Explored - prevExplored; d > 0 {
+				s.m.simExplored.Add(uint64(d))
+				prevExplored = p.Explored
+			}
+		}))
 		start := time.Now()
-		rep, err := bfdn.ExploreContext(ctx, t, req.K, opts...)
+		rep, err := bfdn.ExploreContext(ctx, t, req.K, runOpts...)
 		if err != nil {
 			writeJobError(w, err)
 			return

@@ -1,22 +1,126 @@
 package server
 
-import "expvar"
+import (
+	"net/http"
+	"strconv"
+	"time"
 
-// The daemon's observability surface, exported via expvar (/debug/vars).
-// expvar names are process-global, so the gauges aggregate over every Server
-// in the process — exactly one in the daemon, possibly several in tests.
-var (
-	// statRequests counts requests per endpoint, keyed "explore" / "sweep".
-	statRequests = expvar.NewMap("bfdnd_requests_total")
-	// statInflight is the number of jobs currently executing.
-	statInflight = expvar.NewInt("bfdnd_jobs_inflight")
-	// statQueued is the number of admitted jobs waiting for a slot.
-	statQueued = expvar.NewInt("bfdnd_jobs_queued")
-	// statRejected counts jobs refused by admission (queue full, draining,
-	// or deadline expired while queued).
-	statRejected = expvar.NewInt("bfdnd_jobs_rejected_total")
-	// statPoints counts sweep points completed across all sweeps.
-	statPoints = expvar.NewInt("bfdnd_sweep_points_total")
-	// statPointsPerSec is the engine throughput of the most recent sweep.
-	statPointsPerSec = expvar.NewFloat("bfdnd_sweep_last_points_per_sec")
+	"bfdn/internal/obs"
+	"bfdn/internal/sweep"
 )
+
+// metrics is the daemon's observability surface: one obs.Registry per
+// Server, exposed as Prometheus text on GET /metrics. Nothing here is
+// process-global — parallel Servers (one per httptest instance under test)
+// each see only their own traffic, which the old expvar vars could not
+// guarantee.
+type metrics struct {
+	reg *obs.Registry
+
+	// requests counts requests per endpoint; requestDuration is the
+	// per-endpoint, per-status latency histogram.
+	requests        *obs.CounterVec
+	requestDuration *obs.HistogramVec
+
+	// inflight/queued mirror the admission state; rejected counts refusals
+	// (queue full, draining, deadline expired while queued).
+	inflight *obs.Gauge
+	queued   *obs.Gauge
+	rejected *obs.Counter
+
+	// simRounds/simExplored stream live progress out of long explorations
+	// via the sim observer hook: rounds simulated and nodes explored across
+	// all /v1/explore jobs.
+	simRounds   *obs.Counter
+	simExplored *obs.Counter
+
+	// sweep is the engine recorder (bfdnd_sweep_*): point latency and
+	// queue-wait histograms plus monotonic totals, merged in atomically per
+	// completed sweep so concurrent sweeps never clobber each other.
+	sweep *sweep.Recorder
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg: reg,
+		requests: reg.CounterVec("bfdnd_requests_total",
+			"Requests received, by endpoint.", "endpoint"),
+		requestDuration: reg.HistogramVec("bfdnd_request_duration_seconds",
+			"Request latency, by endpoint and status code.",
+			obs.DefDurationBuckets(), "endpoint", "status"),
+		inflight: reg.Gauge("bfdnd_jobs_inflight",
+			"Jobs currently executing."),
+		queued: reg.Gauge("bfdnd_jobs_queued",
+			"Admitted jobs waiting for an execution slot."),
+		rejected: reg.Counter("bfdnd_jobs_rejected_total",
+			"Jobs refused by admission (queue full, draining, or deadline expired while queued)."),
+		simRounds: reg.Counter("bfdnd_sim_rounds_total",
+			"Simulation rounds executed by /v1/explore jobs."),
+		simExplored: reg.Counter("bfdnd_sim_explored_nodes_total",
+			"Nodes explored by /v1/explore jobs."),
+		sweep: sweep.NewRecorder(reg),
+	}
+}
+
+// statusWriter records the status code written by a handler so the request
+// histogram can label it; it forwards Flush so JSONL sweep streaming keeps
+// working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the per-endpoint request counter and the
+// per-endpoint/per-status latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests.With(endpoint).Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		code := sw.code
+		if code == 0 {
+			// Nothing written: net/http sends 200 on handler return.
+			code = http.StatusOK
+		}
+		s.m.requestDuration.With(endpoint, strconv.Itoa(code)).
+			ObserveDuration(time.Since(start))
+	}
+}
+
+// handleVars is the thin expvar-compatible view of the per-server registry:
+// the same top-level JSON shape /debug/vars always had, with the keys
+// dashboards already scrape. The authoritative surface is GET /metrics;
+// bfdnd_sweep_last_points_per_sec is gone (it was last-write-wins under
+// concurrent sweeps) — use the bfdnd_sweep_point_duration_seconds histogram.
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"bfdnd_requests_total": map[string]uint64{
+			"explore": s.m.requests.With("explore").Value(),
+			"sweep":   s.m.requests.With("sweep").Value(),
+		},
+		"bfdnd_jobs_inflight":       int64(s.m.inflight.Value()),
+		"bfdnd_jobs_queued":         int64(s.m.queued.Value()),
+		"bfdnd_jobs_rejected_total": s.m.rejected.Value(),
+		"bfdnd_sweep_points_total":  s.m.sweep.PointsTotal.Value(),
+	})
+}

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The Prometheus text exposition grammar, as in internal/obs's own tests:
+// every non-empty line is either a # HELP/# TYPE comment or a sample.
+var (
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})? (?:[0-9.e+-]+|\+Inf|NaN)$`)
+)
+
+// scrape fetches /metrics, checks every line against the exposition grammar,
+// and returns the sample lines.
+func scrape(t *testing.T, client *http.Client, base string) []string {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics: Content-Type %q", ct)
+	}
+	var samples []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Errorf("bad comment line %q", line)
+			}
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("line violates exposition grammar: %q", line)
+			continue
+		}
+		samples = append(samples, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// sampleValue finds the single sample whose name and label substring match,
+// returning its value. Fails the test when absent or ambiguous.
+func sampleValue(t *testing.T, samples []string, name, labelSub string) float64 {
+	t.Helper()
+	var found []string
+	for _, s := range samples {
+		metric := s[:strings.IndexByte(s+" ", ' ')]
+		if i := strings.IndexByte(metric, '{'); i >= 0 {
+			if metric[:i] != name || !strings.Contains(metric[i:], labelSub) {
+				continue
+			}
+		} else if metric != name || labelSub != "" {
+			continue
+		}
+		found = append(found, s)
+	}
+	if len(found) != 1 {
+		t.Fatalf("sample %s{~%s}: %d matches %v", name, labelSub, len(found), found)
+	}
+	v, err := strconv.ParseFloat(found[0][strings.LastIndexByte(found[0], ' ')+1:], 64)
+	if err != nil {
+		t.Fatalf("sample %q: %v", found[0], err)
+	}
+	return v
+}
+
+// TestMetricsEndpointSmoke is the acceptance scenario: one explore plus two
+// concurrent sweeps against one server, then a scrape that must parse per the
+// exposition grammar and expose exact, monotonically consistent totals.
+func TestMetricsEndpointSmoke(t *testing.T) {
+	srv := New(Config{SweepWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/explore",
+		`{"family":"random","n":400,"depth":10,"treeSeed":1,"k":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore: %d %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("X-Bfdnd-Job") == "" {
+		t.Error("explore response missing X-Bfdnd-Job header")
+	}
+
+	const pointsPerSweep = 9
+	var pts []string
+	for i := 0; i < pointsPerSweep; i++ {
+		pts = append(pts, fmt.Sprintf(`{"family":"comb","n":200,"depth":6,"treeSeed":2,"k":%d}`, 1+i%4))
+	}
+	sweepBody := fmt.Sprintf(`{"seed":3,"points":[%s]}`, strings.Join(pts, ","))
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/sweep", sweepBody)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("sweep: %d %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+
+	samples := scrape(t, ts.Client(), ts.URL)
+
+	// Request histogram is labeled by endpoint and status.
+	if v := sampleValue(t, samples, "bfdnd_request_duration_seconds_count", `endpoint="explore",status="200"`); v != 1 {
+		t.Errorf("explore 200 request count = %v, want 1", v)
+	}
+	if v := sampleValue(t, samples, "bfdnd_request_duration_seconds_count", `endpoint="sweep",status="200"`); v != 2 {
+		t.Errorf("sweep 200 request count = %v, want 2", v)
+	}
+
+	// Two sweeps merged their run recorders into the shared registry: the
+	// totals and the point-latency histogram count must agree exactly.
+	want := float64(2 * pointsPerSweep)
+	if v := sampleValue(t, samples, "bfdnd_sweep_points_total", ""); v != want {
+		t.Errorf("bfdnd_sweep_points_total = %v, want %v", v, want)
+	}
+	if v := sampleValue(t, samples, "bfdnd_sweep_point_duration_seconds_count", ""); v != want {
+		t.Errorf("point duration histogram count = %v, want %v", v, want)
+	}
+	if v := sampleValue(t, samples, "bfdnd_sweep_point_errors_total", ""); v != 0 {
+		t.Errorf("bfdnd_sweep_point_errors_total = %v, want 0", v)
+	}
+
+	// Admission gauges exist and are quiescent after the traffic.
+	if v := sampleValue(t, samples, "bfdnd_jobs_inflight", ""); v != 0 {
+		t.Errorf("bfdnd_jobs_inflight = %v, want 0 at rest", v)
+	}
+	if v := sampleValue(t, samples, "bfdnd_jobs_queued", ""); v != 0 {
+		t.Errorf("bfdnd_jobs_queued = %v, want 0 at rest", v)
+	}
+
+	// The sim observer streamed progress out of the explore job.
+	if v := sampleValue(t, samples, "bfdnd_sim_rounds_total", ""); v < 1 {
+		t.Errorf("bfdnd_sim_rounds_total = %v, want ≥ 1", v)
+	}
+	if v := sampleValue(t, samples, "bfdnd_sim_explored_nodes_total", ""); v != 400 {
+		t.Errorf("bfdnd_sim_explored_nodes_total = %v, want 400", v)
+	}
+}
+
+// TestMetricsPerServerIsolation pins the point of the expvar migration: two
+// Servers in one process count only their own traffic.
+func TestMetricsPerServerIsolation(t *testing.T) {
+	srvA, srvB := New(Config{}), New(Config{})
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, data := postJSON(t, tsA.Client(), tsA.URL+"/v1/explore",
+			`{"family":"star","n":50,"k":2}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("explore: %d %s", resp.StatusCode, data)
+		}
+	}
+
+	a := scrape(t, tsA.Client(), tsA.URL)
+	if v := sampleValue(t, a, "bfdnd_requests_total", `endpoint="explore"`); v != 3 {
+		t.Errorf("server A explore requests = %v, want 3", v)
+	}
+	b := scrape(t, tsB.Client(), tsB.URL)
+	for _, s := range b {
+		if strings.HasPrefix(s, "bfdnd_requests_total") {
+			t.Errorf("server B saw server A's traffic: %q", s)
+		}
+	}
+}
+
+// TestJobLogCarriesID checks the slog records: one job produces correlated
+// start and done lines carrying the same ID the client got in X-Bfdnd-Job.
+func TestJobLogCarriesID(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(&lockedWriter{w: &buf, mu: &mu}, nil))
+	srv := New(Config{Logger: logger})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/explore",
+		`{"family":"binary","n":100,"k":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore: %d %s", resp.StatusCode, data)
+	}
+	hdr := resp.Header.Get("X-Bfdnd-Job")
+	if hdr == "" {
+		t.Fatal("missing X-Bfdnd-Job header")
+	}
+	jobID, err := strconv.ParseUint(hdr, 10, 64)
+	if err != nil {
+		t.Fatalf("X-Bfdnd-Job %q: %v", hdr, err)
+	}
+
+	mu.Lock()
+	logs := buf.String()
+	mu.Unlock()
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+		var rec struct {
+			Msg      string `json:"msg"`
+			Job      uint64 `json:"job"`
+			Endpoint string `json:"endpoint"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		if rec.Job == jobID {
+			if rec.Endpoint != "explore" {
+				t.Errorf("record %q has endpoint %q", rec.Msg, rec.Endpoint)
+			}
+			seen[rec.Msg] = true
+		}
+	}
+	if !seen["job start"] || !seen["job done"] {
+		t.Fatalf("job %d: want correlated start+done records, got %v in:\n%s", jobID, seen, logs)
+	}
+}
+
+// TestRejectionLogged checks the third lifecycle record: a refused job emits
+// a "job rejected" record with its reason, and bumps the rejection counter.
+func TestRejectionLogged(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(&lockedWriter{w: &buf, mu: &mu}, nil))
+	srv := New(Config{Logger: logger})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := srv.Shutdown(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/explore",
+		`{"family":"star","n":20,"k":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain explore: %d, want 503", resp.StatusCode)
+	}
+
+	mu.Lock()
+	logs := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logs, `"msg":"job rejected"`) || !strings.Contains(logs, `"reason":"draining"`) {
+		t.Fatalf("no rejection record in:\n%s", logs)
+	}
+	samples := scrape(t, ts.Client(), ts.URL)
+	if v := sampleValue(t, samples, "bfdnd_jobs_rejected_total", ""); v != 1 {
+		t.Errorf("bfdnd_jobs_rejected_total = %v, want 1", v)
+	}
+}
+
+// lockedWriter serializes concurrent handler writes into one buffer.
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

@@ -20,16 +20,25 @@
 //     is what a SIGTERM handler wants to do before closing the listener.
 //
 // Endpoints: POST /v1/explore (one exploration, JSON report), POST /v1/sweep
-// (a grid of runs, streamed as JSONL in point order), GET /healthz, plus
-// expvar under /debug/vars and net/http/pprof under /debug/pprof/.
+// (a grid of runs, streamed as JSONL in point order), GET /healthz, GET
+// /metrics (Prometheus text exposition of the per-Server registry), a thin
+// expvar-compatible view under /debug/vars, and net/http/pprof under
+// /debug/pprof/.
+//
+// Observability is per-Server: every Server owns an obs.Registry (request
+// latency histograms by endpoint and status, admission gauges and rejection
+// counters, the sweep engine's point-latency recorder, live exploration
+// progress counters) and a structured job log — each admitted job gets a
+// monotonically increasing ID, returned in the X-Bfdnd-Job response header
+// and carried through the slog records from admission to completion.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
-	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	netpprof "net/http/pprof"
 	"runtime"
@@ -61,6 +70,9 @@ type Config struct {
 	// MaxPoints caps the number of points in one sweep (≤ 0 → 10,000).
 	MaxNodes  int
 	MaxPoints int
+	// Logger receives structured job-lifecycle records (admission,
+	// completion, rejection) with per-job IDs; nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +107,12 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// m is the per-Server metrics registry; log receives job-lifecycle
+	// records; jobSeq issues the per-job IDs both carry.
+	m      *metrics
+	log    *slog.Logger
+	jobSeq atomic.Uint64
+
 	// sem holds one token per executing job; queued counts jobs waiting
 	// for a token (bounded by cfg.QueueDepth).
 	sem    chan struct{}
@@ -120,13 +138,19 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg.withDefaults(),
 		start: time.Now(),
+		m:     newMetrics(),
+	}
+	s.log = s.cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(discardHandler{})
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxJobs)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.m.reg.Handler())
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
@@ -134,6 +158,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
 	return s
 }
+
+// discardHandler is the nil-Config.Logger sink (log/slog gained a stock one
+// only after this module's go directive).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -199,10 +232,10 @@ func (s *Server) acquireSlot(ctx context.Context) error {
 		s.queued.Add(-1)
 		return errQueueFull
 	}
-	statQueued.Add(1)
+	s.m.queued.Inc()
 	defer func() {
 		s.queued.Add(-1)
-		statQueued.Add(-1)
+		s.m.queued.Dec()
 	}()
 	select {
 	case s.sem <- struct{}{}:
@@ -228,33 +261,46 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 }
 
 // runJob funnels every endpoint through the same admission path: drain
-// check, queue-bounded slot acquisition, gauges, and the test hook. job runs
-// with the slot held.
-func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, job func()) bool {
-	if !s.beginJob() {
+// check, queue-bounded slot acquisition, gauges, the job log, and the test
+// hook. job runs with the slot held. Each admission attempt gets a job ID
+// that is returned in the X-Bfdnd-Job header and stamped on every log
+// record, so one job's admission, start and completion lines correlate.
+func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, endpoint string, job func()) bool {
+	jobID := s.jobSeq.Add(1)
+	log := s.log.With("job", jobID, "endpoint", endpoint)
+	reject := func(reason string) {
 		s.rejected.Add(1)
-		statRejected.Add(1)
+		s.m.rejected.Inc()
+		log.Warn("job rejected", "reason", reason)
+	}
+	if !s.beginJob() {
+		reject("draining")
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return false
 	}
 	defer s.endJob()
+	admitted := time.Now()
 	if err := s.acquireSlot(ctx); err != nil {
-		s.rejected.Add(1)
-		statRejected.Add(1)
 		if errors.Is(err, errQueueFull) {
+			reject("queue_full")
 			writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
 		} else {
+			reject("queued_deadline")
 			writeError(w, http.StatusServiceUnavailable, "deadline expired while queued")
 		}
 		return false
 	}
 	defer s.releaseSlot()
 	s.inflight.Add(1)
-	statInflight.Add(1)
+	s.m.inflight.Inc()
+	w.Header().Set("X-Bfdnd-Job", fmt.Sprint(jobID))
+	start := time.Now()
+	log.Info("job start", "queued_ms", start.Sub(admitted).Milliseconds())
 	defer func() {
 		s.inflight.Add(-1)
-		statInflight.Add(-1)
+		s.m.inflight.Dec()
 		s.served.Add(1)
+		log.Info("job done", "elapsed_ms", time.Since(start).Milliseconds())
 	}()
 	if s.testJobStart != nil {
 		s.testJobStart()

@@ -426,11 +426,15 @@ func TestHealthzAndExpvar(t *testing.T) {
 	for _, key := range []string{
 		"bfdnd_requests_total", "bfdnd_jobs_inflight", "bfdnd_jobs_queued",
 		"bfdnd_jobs_rejected_total", "bfdnd_sweep_points_total",
-		"bfdnd_sweep_last_points_per_sec",
 	} {
 		if _, ok := vars[key]; !ok {
 			t.Errorf("expvar missing %q", key)
 		}
+	}
+	// bfdnd_sweep_last_points_per_sec was last-write-wins under concurrent
+	// sweeps and is deliberately gone; the histogram on /metrics replaces it.
+	if _, ok := vars["bfdnd_sweep_last_points_per_sec"]; ok {
+		t.Error("expvar still exports bfdnd_sweep_last_points_per_sec")
 	}
 
 	presp, err := ts.Client().Get(ts.URL + "/debug/pprof/cmdline")

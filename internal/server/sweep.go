@@ -45,7 +45,6 @@ type sweepLine struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	statRequests.Add("sweep", 1)
 	var req sweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -62,7 +61,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	s.runJob(ctx, w, func() {
+	s.runJob(ctx, w, "sweep", func() {
 		// Materialize the grid. Sweeps routinely reuse one tree spec across
 		// many k values; trees are immutable, so identical specs share one.
 		points := make([]bfdn.SweepPoint, len(req.Points))
@@ -137,7 +136,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 
-		stats, err := bfdn.SweepStream(ctx, points, s.cfg.SweepWorkers, req.Seed, emit)
+		// The engine recorder folds this sweep's point-latency histogram and
+		// totals into the server registry when the run completes; totals stay
+		// monotonically consistent under any number of concurrent sweeps.
+		stats, err := bfdn.SweepStream(ctx, points, s.cfg.SweepWorkers, req.Seed, emit,
+			bfdn.WithSweepRecorder(s.m.sweep))
 		if err != nil {
 			// SweepStream validates every point before running anything, so
 			// on error no line has been written and the status is still ours.
@@ -145,8 +148,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		statPoints.Add(int64(stats.Points))
-		statPointsPerSec.Set(stats.PointsPerSec)
 		mu.Lock()
 		write(sweepLine{Point: -1, Done: true, Points: stats.Points,
 			PointsPerSec: stats.PointsPerSec, Workers: stats.Workers})

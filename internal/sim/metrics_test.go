@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+
+	"bfdn/internal/tree"
+)
+
+// filledMetrics returns a Metrics with every field non-zero, so reset tests
+// catch any field the zeroing misses.
+func filledMetrics(k int) Metrics {
+	m := newMetrics(k)
+	m.Rounds = 7
+	m.TotalRounds = 8
+	m.StillRobotRounds = 3
+	m.EdgeExplorations = 5
+	m.DiscoveredEdges = 6
+	for i := range m.MovesPerRobot {
+		m.addMove(i)
+		m.addMove(i)
+	}
+	return m
+}
+
+func assertZero(t *testing.T, m Metrics, k int) {
+	t.Helper()
+	if m.Rounds != 0 || m.TotalRounds != 0 || m.Moves != 0 ||
+		m.StillRobotRounds != 0 || m.EdgeExplorations != 0 || m.DiscoveredEdges != 0 {
+		t.Fatalf("reset left counters: %+v", m)
+	}
+	if len(m.MovesPerRobot) != k {
+		t.Fatalf("MovesPerRobot has %d entries, want %d", len(m.MovesPerRobot), k)
+	}
+	for i, v := range m.MovesPerRobot {
+		if v != 0 {
+			t.Fatalf("MovesPerRobot[%d] = %d after reset", i, v)
+		}
+	}
+}
+
+// TestMetricsResetShrinkReusesCapacity is the World.Reset zero-allocation
+// path: shrinking k must zero and reslice the existing per-robot array, not
+// allocate a new one.
+func TestMetricsResetShrinkReusesCapacity(t *testing.T) {
+	m := filledMetrics(8)
+	backing := &m.MovesPerRobot[0]
+	m.reset(4)
+	assertZero(t, m, 4)
+	if cap(m.MovesPerRobot) < 8 {
+		t.Fatalf("capacity shrank to %d; backing array not reused", cap(m.MovesPerRobot))
+	}
+	if &m.MovesPerRobot[0] != backing {
+		t.Fatal("reset to smaller k replaced the backing array")
+	}
+	// Same-k reset reuses too.
+	m.MovesPerRobot[0] = 9
+	m.reset(4)
+	assertZero(t, m, 4)
+	if &m.MovesPerRobot[0] != backing {
+		t.Fatal("same-k reset replaced the backing array")
+	}
+}
+
+func TestMetricsResetGrowAllocates(t *testing.T) {
+	m := filledMetrics(2)
+	m.reset(16)
+	assertZero(t, m, 16)
+	// The grown tail must be writable per robot.
+	m.addMove(15)
+	if m.MovesPerRobot[15] != 1 || m.Moves != 1 {
+		t.Fatalf("grown metrics miscount: %+v", m)
+	}
+}
+
+// TestMetricsCloneIsDeep verifies clone snapshots the per-robot slice: runs
+// keep mutating the world's metrics after World.Metrics() copies escape.
+func TestMetricsCloneIsDeep(t *testing.T) {
+	m := filledMetrics(3)
+	c := m.clone()
+	m.addMove(1)
+	m.Rounds++
+	if c.MovesPerRobot[1] != 2 {
+		t.Fatalf("clone tracked the original: MovesPerRobot[1] = %d, want 2", c.MovesPerRobot[1])
+	}
+	if c.Rounds != 7 || c.Moves != 6 {
+		t.Fatalf("clone values drifted: %+v", c)
+	}
+}
+
+// TestObserverStreamsProgress drives a small run with an observer installed
+// and checks the streamed snapshots are per-round, monotone, and end at the
+// full exploration.
+func TestObserverStreamsProgress(t *testing.T) {
+	tr, err := tree.FromParents([]int32{-1, 0, 0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Progress
+	w.SetObserver(func(p Progress) { got = append(got, p) })
+	res, err := Run(w, soloDFS{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("observer never invoked")
+	}
+	for i, p := range got {
+		if p.Round != i+1 {
+			t.Fatalf("snapshot %d has Round %d, want %d", i, p.Round, i+1)
+		}
+		if i > 0 {
+			prev := got[i-1]
+			if p.Explored < prev.Explored || p.Moves < prev.Moves {
+				t.Fatalf("progress regressed: %+v -> %+v", prev, p)
+			}
+		}
+	}
+	last := got[len(got)-1]
+	if last.Explored != tr.N() {
+		t.Fatalf("final Explored = %d, want %d", last.Explored, tr.N())
+	}
+	if last.Moves != res.Moves {
+		t.Fatalf("final Moves = %d, want %d", last.Moves, res.Moves)
+	}
+
+	// Removing the observer stops the stream.
+	if err := w.Reset(tr, 2); err != nil {
+		t.Fatal(err)
+	}
+	seen := len(got)
+	w.SetObserver(nil)
+	if _, err := Run(w, soloDFS{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != seen {
+		t.Fatal("observer fired after SetObserver(nil)")
+	}
+}

@@ -76,9 +76,10 @@ type World struct {
 	reservedRound []int32
 	reservedCount []int32
 
-	round   int
-	metrics Metrics
-	view    *View
+	round    int
+	metrics  Metrics
+	view     *View
+	observer func(Progress)
 	// evBuf is the reusable explore-event buffer returned by Apply; it is
 	// valid until the next Apply call (no caller retains events across
 	// rounds), so steady-state rounds allocate nothing.
@@ -183,6 +184,27 @@ func (w *World) AllAtRoot() bool {
 
 // Metrics returns a copy of the accumulated metrics.
 func (w *World) Metrics() Metrics { return w.metrics.clone() }
+
+// Progress is the per-round snapshot streamed to a World observer: the
+// paper's analytical quantities (round index, explored-node count, total
+// moves) at the granularity an operator gauge wants, without the full trace
+// recorder.
+type Progress struct {
+	// Round is the number of committed rounds so far.
+	Round int
+	// Explored is the number of explored nodes (n at completion).
+	Explored int
+	// Moves is the total edge traversals over all robots so far.
+	Moves int64
+}
+
+// SetObserver installs f, invoked once per committed round (after each
+// successful Apply) with the world's progress. A nil f removes the observer.
+// The hook costs one nil check per round when unset; observers run on the
+// simulating goroutine, so they must be fast and must not call back into the
+// world. The observer survives Reset — the sweep engine's recycled worlds
+// keep streaming to the same consumer.
+func (w *World) SetObserver(f func(Progress)) { w.observer = f }
 
 // Tree exposes the hidden tree for test assertions. Algorithms must not call
 // this; it exists so that harnesses can validate outcomes.
@@ -300,6 +322,9 @@ func (w *World) Apply(moves []Move) ([]ExploreEvent, bool, error) {
 		}
 	}
 	w.evBuf = events[:0]
+	if w.observer != nil {
+		w.observer(Progress{Round: w.round, Explored: w.exploredCount, Moves: w.metrics.Moves})
+	}
 	return events, anyMoved, nil
 }
 

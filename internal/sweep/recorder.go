@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"time"
+
+	"bfdn/internal/obs"
+)
+
+// Recorder aggregates the engine's observability signals on obs instruments:
+// per-point latency and queue-wait histograms plus monotonic totals. One
+// long-lived Recorder (NewRecorder, registered on a consumer's
+// obs.Registry) may be shared by any number of concurrent sweeps — each run
+// records into a private run-local Recorder at full speed and merges it in
+// atomically when the run completes, so shared totals are monotonically
+// consistent (no last-write-wins, the flaw of the expvar gauge this
+// replaced).
+type Recorder struct {
+	// PointDuration observes each executed point's wall-clock simulation
+	// time, in seconds.
+	PointDuration *obs.Histogram
+	// QueueWait observes, per executed point, the delay between the engine
+	// starting and the point beginning execution — how long the point sat in
+	// the shared work queue behind earlier points.
+	QueueWait *obs.Histogram
+	// PointsTotal counts points settled (executed or canceled); ErrorsTotal
+	// counts the subset that settled with a non-nil Err.
+	PointsTotal *obs.Counter
+	ErrorsTotal *obs.Counter
+	// BusySeconds accumulates worker busy (simulating) time; utilization
+	// over a scrape interval is rate(busy_seconds) / workers.
+	BusySeconds *obs.FloatCounter
+}
+
+// NewRecorder registers the engine's metric families on reg under the
+// project's canonical bfdnd_sweep_* names and returns the Recorder to pass
+// via Options.Recorder.
+func NewRecorder(reg *obs.Registry) *Recorder {
+	return &Recorder{
+		PointDuration: reg.Histogram("bfdnd_sweep_point_duration_seconds",
+			"Wall-clock simulation time per sweep point.", obs.DefDurationBuckets()),
+		QueueWait: reg.Histogram("bfdnd_sweep_queue_wait_seconds",
+			"Delay between sweep start and point execution start.", obs.DefDurationBuckets()),
+		PointsTotal: reg.Counter("bfdnd_sweep_points_total",
+			"Sweep points settled (executed or canceled)."),
+		ErrorsTotal: reg.Counter("bfdnd_sweep_point_errors_total",
+			"Sweep points settled with an error."),
+		BusySeconds: reg.FloatCounter("bfdnd_sweep_busy_seconds_total",
+			"Cumulative sweep-worker busy time."),
+	}
+}
+
+// newRunRecorder builds the unregistered run-local Recorder every engine
+// invocation records into; RunContext derives Stats from it and merges it
+// into Options.Recorder (when set) after the pool drains.
+func newRunRecorder() *Recorder {
+	return &Recorder{
+		PointDuration: obs.NewHistogram(obs.DefDurationBuckets()),
+		QueueWait:     obs.NewHistogram(obs.DefDurationBuckets()),
+		PointsTotal:   new(obs.Counter),
+		ErrorsTotal:   new(obs.Counter),
+		BusySeconds:   new(obs.FloatCounter),
+	}
+}
+
+// point records one settled point. Canceled points pass exec = 0 (they never
+// ran); wait is the time from engine start to settlement start.
+func (r *Recorder) point(wait, exec time.Duration, failed bool) {
+	r.QueueWait.ObserveDuration(wait)
+	r.PointDuration.ObserveDuration(exec)
+	r.PointsTotal.Inc()
+	if failed {
+		r.ErrorsTotal.Inc()
+	}
+}
+
+// merge folds a completed run's recorder into r. The histograms share the
+// DefDurationBuckets layout by construction, so Merge cannot fail.
+func (r *Recorder) merge(run *Recorder) {
+	_ = r.PointDuration.Merge(run.PointDuration)
+	_ = r.QueueWait.Merge(run.QueueWait)
+	r.PointsTotal.Merge(run.PointsTotal)
+	r.ErrorsTotal.Merge(run.ErrorsTotal)
+	r.BusySeconds.Merge(run.BusySeconds)
+}

@@ -55,7 +55,9 @@ type Result struct {
 	Err error
 }
 
-// Stats summarizes one engine invocation, for observability.
+// Stats summarizes one engine invocation, for observability. All values are
+// derived from the run's Recorder after the pool drains, so they agree with
+// what Options.Recorder accumulates.
 type Stats struct {
 	// Points is the number of points executed.
 	Points int
@@ -72,6 +74,11 @@ type Stats struct {
 	// Utilization is the mean worker busy time divided by Elapsed:
 	// 1.0 means every worker simulated the whole time.
 	Utilization float64
+	// Errors counts points that settled with a non-nil Err.
+	Errors int
+	// WorkerBusy is each worker's cumulative simulation time; per-worker
+	// utilization is WorkerBusy[i] / Elapsed.
+	WorkerBusy []time.Duration
 }
 
 // String renders the stats as the one-line form printed by cmd/experiments.
@@ -92,6 +99,12 @@ type Options struct {
 	// with Err set. Implementations must be safe for concurrent calls; slow
 	// callbacks stall the worker that runs them.
 	OnResult func(Result)
+	// Recorder, when non-nil, receives the run's signals after the pool
+	// drains: per-point duration and queue-wait observations, point/error
+	// totals and worker busy time are merged in atomically, so one Recorder
+	// shared by concurrent sweeps accumulates monotonically consistent
+	// totals.
+	Recorder *Recorder
 }
 
 // DeriveSeed maps (base, index) to a per-point seed with the splitmix64
@@ -137,6 +150,10 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 	runtime.ReadMemStats(&mem0)
 	start := time.Now()
 
+	// Every run records into a private recorder — a handful of atomic adds
+	// per point — and Stats is derived from it below, so the numbers handed
+	// to callers and the ones merged into opt.Recorder cannot disagree.
+	rec := newRunRecorder()
 	busy := make([]time.Duration, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -149,7 +166,10 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 			// stored once at exit: adjacent busy[wk] slots share cache lines,
 			// and a per-point store from every worker would ping-pong them.
 			var busyLocal time.Duration
-			defer func() { busy[wk] = busyLocal }()
+			defer func() {
+				busy[wk] = busyLocal
+				rec.BusySeconds.AddDuration(busyLocal)
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
@@ -158,10 +178,13 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 				if err := ctx.Err(); err != nil {
 					results[i] = Result{Point: i, Seed: DeriveSeed(opt.BaseSeed, uint64(i)),
 						Err: fmt.Errorf("sweep: point %d: %w", i, err)}
+					rec.point(time.Since(start), 0, true)
 				} else {
 					t0 := time.Now()
 					results[i] = runPoint(ctx, &world, points[i], i, opt.BaseSeed)
-					busyLocal += time.Since(t0)
+					d := time.Since(t0)
+					busyLocal += d
+					rec.point(t0.Sub(start), d, results[i].Err != nil)
 				}
 				if opt.OnResult != nil {
 					opt.OnResult(results[i])
@@ -175,15 +198,16 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 	var mem1 runtime.MemStats
 	runtime.ReadMemStats(&mem1)
 	if s := stats.Elapsed.Seconds(); s > 0 {
-		stats.PointsPerSec = float64(len(points)) / s
+		stats.PointsPerSec = float64(rec.PointsTotal.Value()) / s
 	}
 	stats.AllocsPerPoint = float64(mem1.Mallocs-mem0.Mallocs) / float64(len(points))
-	var totalBusy time.Duration
-	for _, b := range busy {
-		totalBusy += b
+	if d := stats.Elapsed.Seconds() * float64(workers); d > 0 {
+		stats.Utilization = rec.BusySeconds.Value() / d
 	}
-	if d := stats.Elapsed * time.Duration(workers); d > 0 {
-		stats.Utilization = float64(totalBusy) / float64(d)
+	stats.Errors = int(rec.ErrorsTotal.Value())
+	stats.WorkerBusy = busy
+	if opt.Recorder != nil {
+		opt.Recorder.merge(rec)
 	}
 	return results, stats
 }
