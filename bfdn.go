@@ -570,6 +570,16 @@ func WithSweepRecorder(rec *sweep.Recorder) EngineOption {
 	return func(o *sweep.Options) { o.Recorder = rec }
 }
 
+// WithSeedIndexBase offsets the index used for per-point seed derivation:
+// point i of the sweep draws its randomness from seed and index base+i
+// instead of i. A coordinator that splits one logical sweep into shards sets
+// the base to each shard's first global index, so every point's result is
+// identical to the unsharded run wherever the shard executes. The bfdnd
+// sweep endpoint exposes this as the request's indexBase field.
+func WithSeedIndexBase(base uint64) EngineOption {
+	return func(o *sweep.Options) { o.IndexBase = base }
+}
+
 // Sweep executes a grid of independent exploration runs on a sharded worker
 // pool with per-worker world reuse: the engine behind the experiment suite,
 // exposed for large (algorithm × tree × k) comparisons. workers ≤ 0 selects

@@ -15,6 +15,7 @@
 //	POST /v1/explore   one exploration run, JSON report
 //	POST /v1/sweep     a (algorithm × tree × k) grid, streamed as JSONL
 //	GET  /healthz      liveness + load snapshot (503 while draining)
+//	GET  /capacity     admission limits + load, for distributed coordinators
 //	GET  /metrics      Prometheus text exposition (bfdnd_*)
 //	GET  /debug/vars   thin expvar-compatible view of the same counters
 //	GET  /debug/pprof/ net/http/pprof profiles
@@ -25,6 +26,11 @@
 //
 // On SIGINT/SIGTERM the daemon stops admitting jobs, drains in-flight work
 // (bounded by -drain), then closes the listener.
+//
+// Several bfdnd instances form a sweep fleet: the distributed coordinator
+// (bfdn.SweepDistributed, or experiments -workers) reads each instance's
+// GET /capacity, shards a sweep across the fleet, and merges the streams
+// back into one byte-identical JSONL. OPERATIONS.md is the fleet runbook.
 package main
 
 import (

@@ -14,17 +14,36 @@
 //	experiments -metrics m.prom    # ... or to a file, Prometheus text format
 //	experiments -cpuprofile cpu.pp # write a pprof CPU profile
 //	experiments -memprofile mem.pp # write a pprof heap profile
+//
+// With -workers the command becomes a distributed sweep driver instead of
+// the local suite: it builds a benchmark grid (sized by -scale, seeded by
+// -seed), dispatches it across the given bfdnd instances, streams the merged
+// JSONL to stdout and a coordinator summary to stderr. The merged output is
+// byte-identical to what a single local worker would produce for the same
+// grid, so two fleets — or a fleet and a single daemon — can be diffed.
+//
+//	experiments -workers http://a:8080,http://b:8080           # distribute
+//	experiments -workers http://a:8080 -scale 4 -hedge         # hedged tail
+//
+// -workers is incompatible with -sweepworkers: remote daemons size their own
+// engine pools, so combining the two flags is rejected.
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 
+	"bfdn"
 	"bfdn/internal/exp"
 	"bfdn/internal/obs"
 	"bfdn/internal/sweep"
@@ -48,6 +67,8 @@ func run() error {
 		metricsOut = flag.String("metrics", "", `dump suite-wide engine metrics in Prometheus text format ("-" = stderr)`)
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		fleet      = flag.String("workers", "", "comma-separated bfdnd base URLs: run a distributed sweep benchmark instead of the suite")
+		hedge      = flag.Bool("hedge", false, "with -workers: hedge straggler tail shards on idle workers")
 	)
 	flag.Parse()
 	if *scale < 1 {
@@ -58,6 +79,18 @@ func run() error {
 	}
 	if *workers < 0 {
 		return fmt.Errorf("need -sweepworkers ≥ 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	sweepworkersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sweepworkers" {
+			sweepworkersSet = true
+		}
+	})
+	if err := validateDistFlags(*fleet, sweepworkersSet, *hedge); err != nil {
+		return err
+	}
+	if *fleet != "" {
+		return runDistributed(strings.Split(*fleet, ","), *scale, *seed, *hedge)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -139,6 +172,79 @@ func run() error {
 		return fmt.Errorf("%d paper predictions violated", violations)
 	}
 	fmt.Println("all paper predictions hold")
+	return nil
+}
+
+// validateDistFlags rejects flag combinations that silently do nothing:
+// -sweepworkers tunes the local engine, which a -workers run never starts
+// (remote daemons size their own pools), and -hedge only means anything with
+// a fleet to hedge across.
+func validateDistFlags(fleet string, sweepworkersSet, hedge bool) error {
+	if fleet == "" {
+		if hedge {
+			return fmt.Errorf("-hedge requires -workers (it hedges shards across a fleet)")
+		}
+		return nil
+	}
+	if sweepworkersSet {
+		return fmt.Errorf("-sweepworkers cannot be combined with -workers: remote bfdnd instances size their own sweep pools (set -sweepworkers on each daemon instead)")
+	}
+	return nil
+}
+
+// distGrid is the distributed benchmark workload: families × robot counts,
+// with the algorithm cycling so every point family/alg pair appears, scaled
+// by repeating the grid at growing tree sizes with fresh tree seeds.
+func distGrid(scale int) []bfdn.SweepSpec {
+	families := []bfdn.Family{bfdn.FamilyPath, bfdn.FamilyBinary, bfdn.FamilySpider, bfdn.FamilyComb, bfdn.FamilyRandom}
+	algs := []bfdn.Algorithm{bfdn.BFDN, bfdn.BFDNRecursive, bfdn.CTE, bfdn.DFS}
+	ks := []int{1, 2, 4, 8}
+	specs := make([]bfdn.SweepSpec, 0, scale*len(families)*len(ks))
+	for rep := 0; rep < scale; rep++ {
+		for fi, f := range families {
+			for ki, k := range ks {
+				specs = append(specs, bfdn.SweepSpec{
+					Family:    f,
+					N:         800 + 400*rep + 50*fi,
+					TreeSeed:  int64(rep),
+					K:         k,
+					Algorithm: algs[(fi+ki)%len(algs)],
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// runDistributed dispatches the benchmark grid across the fleet, streaming
+// merged lines to stdout as they become final. Ctrl-C cancels the run and
+// every in-flight worker request.
+func runDistributed(urls []string, scale int, seed int64, hedge bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	var encErr error
+	opts := []bfdn.DistOption{
+		bfdn.WithDistOnLine(func(l bfdn.DistLine) {
+			if encErr == nil {
+				encErr = enc.Encode(l)
+			}
+		}),
+	}
+	if hedge {
+		opts = append(opts, bfdn.WithDistHedging())
+	}
+	_, stats, err := bfdn.SweepDistributed(ctx, distGrid(scale), urls, seed, opts...)
+	if err != nil {
+		return fmt.Errorf("distributed sweep: %w", err)
+	}
+	if encErr != nil {
+		return fmt.Errorf("write output: %w", encErr)
+	}
+	fmt.Fprintln(os.Stderr, "distributed sweep:", stats)
 	return nil
 }
 

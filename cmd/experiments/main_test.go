@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateDistFlags(t *testing.T) {
+	cases := []struct {
+		name            string
+		fleet           string
+		sweepworkersSet bool
+		hedge           bool
+		wantErr         string
+	}{
+		{name: "suite run", fleet: "", sweepworkersSet: false},
+		{name: "suite run with sweepworkers", fleet: "", sweepworkersSet: true},
+		{name: "fleet run", fleet: "http://a:8080,http://b:8080"},
+		{name: "fleet run with hedge", fleet: "http://a:8080", hedge: true},
+		{
+			name: "fleet plus sweepworkers is rejected", fleet: "http://a:8080",
+			sweepworkersSet: true, wantErr: "-sweepworkers cannot be combined with -workers",
+		},
+		{
+			name: "hedge without fleet is rejected", hedge: true,
+			wantErr: "-hedge requires -workers",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateDistFlags(tc.fleet, tc.sweepworkersSet, tc.hedge)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDistGridScales(t *testing.T) {
+	one := distGrid(1)
+	if len(one) == 0 {
+		t.Fatal("empty grid at scale 1")
+	}
+	for i, s := range one {
+		if s.K < 1 || s.N < 1 || s.Family == "" {
+			t.Fatalf("spec %d is degenerate: %+v", i, s)
+		}
+	}
+	if three := distGrid(3); len(three) != 3*len(one) {
+		t.Errorf("scale 3 grid has %d specs, want %d", len(three), 3*len(one))
+	}
+}

@@ -1,0 +1,179 @@
+package bfdn
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"bfdn/internal/dsweep"
+)
+
+// SweepSpec is one point of a distributed sweep. Unlike SweepPoint it names
+// the tree by generator parameters instead of holding a materialized *Tree,
+// so the spec can travel to whichever bfdnd worker runs it; identical specs
+// generate identical trees everywhere.
+type SweepSpec struct {
+	// Family, N, Depth and TreeSeed select the generated tree (Depth is
+	// family-specific; 0 selects the generator default).
+	Family   Family
+	N        int
+	Depth    int
+	TreeSeed int64
+	// K is the robot count; Algorithm selects the exploration algorithm
+	// (the zero value selects BFDN); Ell sets ℓ for BFDNRecursive.
+	K         int
+	Algorithm Algorithm
+	Ell       int
+}
+
+// DistLine is one merged record of a distributed sweep: the global point
+// index plus exactly one of Report or Error. Report holds the worker's
+// serialized Report verbatim — the coordinator never re-marshals it, which
+// is what keeps distributed output byte-identical to a local run.
+type DistLine struct {
+	Point  int             `json:"point"`
+	Report json.RawMessage `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// DistStats summarizes one distributed sweep.
+type DistStats struct {
+	// Points and Shards are the plan size and how it was cut; Workers is how
+	// many workers participated.
+	Points  int
+	Shards  int
+	Workers int
+	// Retries counts shard re-dispatches after failed or busy attempts;
+	// Failovers counts shards completed by a different worker than one that
+	// failed them; Hedges counts duplicate tail dispatches; DeadWorkers
+	// counts workers dropped mid-run after consecutive failures.
+	Retries     int
+	Failovers   int
+	Hedges      int
+	DeadWorkers int
+	// Elapsed is the wall-clock duration; ShardsByWorker is how many shards
+	// each worker base URL completed.
+	Elapsed        time.Duration
+	ShardsByWorker map[string]int
+}
+
+// String renders the one-line summary printed by cmd/experiments -workers.
+func (s DistStats) String() string {
+	return dsweep.Stats{
+		Points: s.Points, Shards: s.Shards, Workers: s.Workers,
+		Retries: s.Retries, Failovers: s.Failovers, Hedges: s.Hedges,
+		DeadWorkers: s.DeadWorkers, Elapsed: s.Elapsed,
+	}.String()
+}
+
+// DistOption tunes SweepDistributed.
+type DistOption func(*dsweep.Options)
+
+// WithDistClient sets the HTTP client used for all worker requests (nil
+// selects a private client with no global timeout).
+func WithDistClient(c *http.Client) DistOption {
+	return func(o *dsweep.Options) { o.Client = c }
+}
+
+// WithDistShardTimeout bounds one dispatch attempt of one shard end to end;
+// it is also forwarded to the worker as the request deadline.
+func WithDistShardTimeout(d time.Duration) DistOption {
+	return func(o *dsweep.Options) { o.ShardTimeout = d }
+}
+
+// WithDistMaxShardPoints caps how many points one shard may carry (further
+// clamped by the smallest maxPoints any worker advertises on /capacity).
+func WithDistMaxShardPoints(n int) DistOption {
+	return func(o *dsweep.Options) { o.MaxShardPoints = n }
+}
+
+// WithDistInflightPerWorker caps concurrent shards per worker (further
+// clamped by the worker's advertised maxJobs).
+func WithDistInflightPerWorker(n int) DistOption {
+	return func(o *dsweep.Options) { o.InflightPerWorker = n }
+}
+
+// WithDistHedging enables hedged dispatch of straggler tail shards: an idle
+// worker duplicates the oldest in-flight shard once the queue is empty, and
+// the first completion wins. Results are deterministic, so both copies agree
+// and the duplicate is simply discarded.
+func WithDistHedging() DistOption {
+	return func(o *dsweep.Options) { o.Hedge = true }
+}
+
+// WithDistOnLine streams each merged line in strict global point order as
+// soon as it is final, before SweepDistributed returns. Keep the callback
+// fast: it runs under the coordinator's merge lock.
+func WithDistOnLine(f func(DistLine)) DistOption {
+	return func(o *dsweep.Options) {
+		o.OnLine = func(l dsweep.Line) { f(DistLine(l)) }
+	}
+}
+
+// WithDistMetrics attaches the coordinator's dsweep_* instrument family.
+// Like WithSweepRecorder, only in-module callers can construct the argument
+// (the metrics layer is internal); external consumers scrape the numbers
+// from whatever registry the caller exposes.
+func WithDistMetrics(m *dsweep.Metrics) DistOption {
+	return func(o *dsweep.Options) { o.Metrics = m }
+}
+
+// specsToPlan converts the public spec grid to the coordinator's wire plan.
+func specsToPlan(specs []SweepSpec, seed int64) dsweep.Plan {
+	plan := dsweep.Plan{Seed: seed, Points: make([]dsweep.PointSpec, len(specs))}
+	for i, s := range specs {
+		alg := ""
+		if s.Algorithm != 0 {
+			alg = s.Algorithm.String()
+		}
+		plan.Points[i] = dsweep.PointSpec{
+			Family: string(s.Family), N: s.N, Depth: s.Depth, TreeSeed: s.TreeSeed,
+			K: s.K, Algorithm: alg, Ell: s.Ell,
+		}
+	}
+	return plan
+}
+
+// SweepDistributed runs the spec grid across a fleet of bfdnd workers
+// (base URLs like "http://host:8080") and merges the streamed results into
+// strict point order. Per-point randomness is derived from (seed, index)
+// exactly as in Sweep, and report bytes pass through verbatim, so the
+// returned lines are byte-identical to a local run of the same grid at any
+// worker count and shard placement.
+//
+// The coordinator weights shard sizes by the fleet's GET /capacity
+// advertisements, retries failed and busy shards with exponential backoff,
+// fails a dead worker's unfinished shards over to the rest, and aborts
+// everything when ctx is canceled. On error the merged prefix produced so
+// far is returned alongside it.
+func SweepDistributed(ctx context.Context, specs []SweepSpec, workers []string, seed int64, opts ...DistOption) ([]DistLine, DistStats, error) {
+	var o dsweep.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	lines, stats, err := dsweep.Run(ctx, specsToPlan(specs, seed), workers, o)
+	out := make([]DistLine, len(lines))
+	for i, l := range lines {
+		out[i] = DistLine(l)
+	}
+	return out, DistStats{
+		Points: stats.Points, Shards: stats.Shards, Workers: stats.Workers,
+		Retries: stats.Retries, Failovers: stats.Failovers, Hedges: stats.Hedges,
+		DeadWorkers: stats.DeadWorkers, Elapsed: stats.Elapsed,
+		ShardsByWorker: stats.ShardsByWorker,
+	}, err
+}
+
+// WriteDistJSONL renders lines as compact JSONL, one record per line — the
+// same bytes a single bfdnd worker would stream for the whole grid, minus
+// the trailing done line. Serializing a local run's reports through the same
+// shape yields identical output, so diff is a sufficient integrity check.
+func WriteDistJSONL(w io.Writer, lines []DistLine) error {
+	conv := make([]dsweep.Line, len(lines))
+	for i, l := range lines {
+		conv[i] = dsweep.Line(l)
+	}
+	return dsweep.WriteJSONL(w, conv)
+}

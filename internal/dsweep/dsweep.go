@@ -1,0 +1,196 @@
+package dsweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// PointSpec is one serializable point of a distributed sweep: the tree is
+// named by generator parameters, not materialized, so the spec travels to
+// whichever worker runs it. The JSON field names match the bfdnd sweep
+// endpoint's point schema exactly.
+type PointSpec struct {
+	// Family, N, Depth and TreeSeed select the generated tree (identical
+	// specs on different workers generate identical trees).
+	Family   string `json:"family"`
+	N        int    `json:"n"`
+	Depth    int    `json:"depth,omitempty"`
+	TreeSeed int64  `json:"treeSeed,omitempty"`
+	// K is the robot count; Algorithm is the canonical lower-case name
+	// (empty selects bfdn); Ell sets ℓ for bfdnl (0 selects the default).
+	K         int    `json:"k"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Ell       int    `json:"ell,omitempty"`
+}
+
+// Plan is a complete distributed sweep: the deterministic base seed and the
+// ordered point grid. Point i's randomness is sweep.DeriveSeed(Seed, i)
+// wherever it executes.
+type Plan struct {
+	Seed   int64
+	Points []PointSpec
+}
+
+// Line is one merged result record, and the JSONL line shape the
+// coordinator emits: the global point index plus exactly one of Report
+// (the worker's serialized bfdn.Report, passed through byte-for-byte) or
+// Error. It matches the point-line shape of the worker's own stream, so
+// merged output is byte-identical to a single worker running the whole
+// plan — and, report bytes being canonical encoding/json output, to a
+// local run serialized the same way.
+type Line struct {
+	Point  int             `json:"point"`
+	Report json.RawMessage `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// Options tune the coordinator. The zero value is valid and selects the
+// defaults documented per field.
+type Options struct {
+	// Client issues all worker HTTP requests; nil selects a private client
+	// with no global timeout (per-attempt deadlines come from ShardTimeout).
+	Client *http.Client
+	// ShardTimeout bounds one dispatch attempt of one shard, end to end
+	// (connection, worker simulation, stream read); ≤ 0 selects 2m. It is
+	// also sent to the worker as the request's timeoutMs so the worker's
+	// deadline matches the coordinator's.
+	ShardTimeout time.Duration
+	// CapacityTimeout bounds the startup GET /capacity probe per worker;
+	// ≤ 0 selects 5s.
+	CapacityTimeout time.Duration
+	// MaxAttempts bounds how many times one shard may be dispatched after
+	// failures (transport errors, 5xx, malformed streams) before the whole
+	// run fails; ≤ 0 selects 4. Busy responses (429, 503) have their own
+	// budget, MaxBusyRetries (≤ 0 selects 10), since they signal back-off,
+	// not damage.
+	MaxAttempts    int
+	MaxBusyRetries int
+	// RetryBase and RetryMax shape the per-worker exponential backoff with
+	// jitter after a failed or busy attempt; ≤ 0 select 50ms and 2s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// WorkerFailLimit is how many consecutive failures mark a worker dead
+	// (its unfinished shards fail over to the others); ≤ 0 selects 3.
+	WorkerFailLimit int
+	// InflightPerWorker caps concurrent shards on one worker, further
+	// clamped by the worker's advertised maxJobs; ≤ 0 selects 2.
+	InflightPerWorker int
+	// Oversub targets Oversub shards per in-flight slot when cutting the
+	// plan, so the queue stays long enough for work stealing and failover
+	// to balance load; ≤ 0 selects 4. MaxShardPoints caps shard size
+	// (further clamped by the smallest advertised maxPoints); ≤ 0 selects
+	// 512.
+	Oversub        int
+	MaxShardPoints int
+	// Hedge enables hedged dispatch of straggler tail shards: when the
+	// queue is empty and a worker is idle, it re-dispatches the oldest
+	// in-flight shard; the first completion wins and the duplicate is
+	// discarded (results are deterministic, so both copies agree).
+	Hedge bool
+	// Metrics, when non-nil, receives the dsweep_* instrument family.
+	Metrics *Metrics
+	// OnLine, when non-nil, streams each merged line in strict global point
+	// order as soon as it is final. It is called from coordinator
+	// goroutines under the merge lock: keep it fast.
+	OnLine func(Line)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 2 * time.Minute
+	}
+	if o.CapacityTimeout <= 0 {
+		o.CapacityTimeout = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.MaxBusyRetries <= 0 {
+		o.MaxBusyRetries = 10
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.WorkerFailLimit <= 0 {
+		o.WorkerFailLimit = 3
+	}
+	if o.InflightPerWorker <= 0 {
+		o.InflightPerWorker = 2
+	}
+	if o.Oversub <= 0 {
+		o.Oversub = 4
+	}
+	if o.MaxShardPoints <= 0 {
+		o.MaxShardPoints = 512
+	}
+	return o
+}
+
+// Stats summarizes one coordinator run.
+type Stats struct {
+	// Points and Shards are the plan size and how it was cut; Workers is
+	// how many workers participated (reachable at startup, not draining).
+	Points  int
+	Shards  int
+	Workers int
+	// Retries counts re-dispatches after failed or busy attempts;
+	// Failovers counts shards that completed on a different worker than
+	// one that failed them; Hedges counts duplicate tail dispatches;
+	// DeadWorkers counts workers dropped mid-run.
+	Retries     int
+	Failovers   int
+	Hedges      int
+	DeadWorkers int
+	// Elapsed is the wall-clock duration; ShardsByWorker is the number of
+	// shards each worker completed (winning copy only).
+	Elapsed        time.Duration
+	ShardsByWorker map[string]int
+}
+
+// String renders the one-line form printed by cmd/experiments -workers.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d points in %d shards over %d workers in %v (%d retries, %d failovers, %d hedges, %d dead workers)",
+		s.Points, s.Shards, s.Workers, s.Elapsed.Round(time.Millisecond),
+		s.Retries, s.Failovers, s.Hedges, s.DeadWorkers)
+}
+
+// Run executes plan across the given worker base URLs and returns one Line
+// per point, in point order, byte-compatible with a local run of the same
+// plan. It fails when no worker is usable, when a shard exhausts its retry
+// budget, when a worker rejects the plan as invalid (HTTP 400 — retrying
+// cannot help), or when ctx is canceled; on failure the merged prefix
+// produced so far is returned alongside the error.
+func Run(ctx context.Context, plan Plan, workers []string, opts Options) ([]Line, Stats, error) {
+	opts = opts.withDefaults()
+	stats := Stats{Points: len(plan.Points), ShardsByWorker: map[string]int{}}
+	if len(plan.Points) == 0 {
+		return nil, stats, nil
+	}
+	if len(workers) == 0 {
+		return nil, stats, fmt.Errorf("dsweep: no workers given")
+	}
+
+	start := time.Now()
+	fleet, err := probeFleet(ctx, workers, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Workers = len(fleet)
+
+	shards := partition(len(plan.Points), fleet, opts)
+	stats.Shards = len(shards)
+
+	c := newCoord(ctx, plan, shards, fleet, opts)
+	lines := c.run(&stats)
+	stats.Elapsed = time.Since(start)
+	return lines, stats, c.fatal()
+}

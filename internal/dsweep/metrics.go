@@ -1,0 +1,121 @@
+package dsweep
+
+import (
+	"time"
+
+	"bfdn/internal/obs"
+)
+
+// Metrics is the coordinator's observability surface: the dsweep_* family,
+// registered on a caller-owned obs.Registry (NewMetrics). Every coordinator
+// hook is nil-safe, so a coordinator without metrics pays one pointer check
+// per event.
+type Metrics struct {
+	// ShardsTotal counts settled dispatch attempts by worker and outcome:
+	// ok (winning completion), error (failed attempt), busy (429/503
+	// back-pressure), discard (late duplicate — hedge loser or an attempt
+	// canceled after another copy won).
+	ShardsTotal *obs.CounterVec
+	// ShardDuration observes per-attempt wall time by worker.
+	ShardDuration *obs.HistogramVec
+	// RetriesTotal counts re-dispatches (failures and busy responses);
+	// FailoversTotal counts shards completed by a different worker after a
+	// failure; HedgesTotal counts duplicate tail dispatches;
+	// WorkersDeadTotal counts workers dropped mid-run.
+	RetriesTotal     *obs.Counter
+	FailoversTotal   *obs.Counter
+	HedgesTotal      *obs.Counter
+	WorkersDeadTotal *obs.Counter
+	// PointsMergedTotal counts points emitted in final order.
+	PointsMergedTotal *obs.Counter
+	// QueueDepth gauges shards waiting for dispatch; InflightShards gauges
+	// shards executing per worker; ReorderPending gauges completed shards
+	// buffered behind an earlier unfinished one.
+	QueueDepth     *obs.Gauge
+	InflightShards *obs.GaugeVec
+	ReorderPending *obs.Gauge
+}
+
+// NewMetrics registers the dsweep_* instrument family on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		ShardsTotal: reg.CounterVec("dsweep_shards_total",
+			"Shard dispatch attempts settled, by worker and outcome (ok, error, busy, discard).",
+			"worker", "outcome"),
+		ShardDuration: reg.HistogramVec("dsweep_shard_duration_seconds",
+			"Wall-clock duration of shard dispatch attempts, by worker.",
+			obs.DefDurationBuckets(), "worker"),
+		RetriesTotal: reg.Counter("dsweep_retries_total",
+			"Shard re-dispatches after failed or busy attempts."),
+		FailoversTotal: reg.Counter("dsweep_failovers_total",
+			"Shards completed by a different worker after a failure."),
+		HedgesTotal: reg.Counter("dsweep_hedges_total",
+			"Hedged (duplicate) dispatches of straggler tail shards."),
+		WorkersDeadTotal: reg.Counter("dsweep_workers_dead_total",
+			"Workers declared dead after consecutive failures."),
+		PointsMergedTotal: reg.Counter("dsweep_points_merged_total",
+			"Sweep points merged into the ordered output stream."),
+		QueueDepth: reg.Gauge("dsweep_queue_depth",
+			"Shards waiting for dispatch."),
+		InflightShards: reg.GaugeVec("dsweep_inflight_shards",
+			"Shards currently executing, by worker.", "worker"),
+		ReorderPending: reg.Gauge("dsweep_reorder_pending_shards",
+			"Completed shards buffered until earlier points finish."),
+	}
+}
+
+func (m *Metrics) shard(worker, outcome string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ShardsTotal.With(worker, outcome).Inc()
+	m.ShardDuration.With(worker).ObserveDuration(d)
+}
+
+func (m *Metrics) retry() {
+	if m != nil {
+		m.RetriesTotal.Inc()
+	}
+}
+
+func (m *Metrics) failover() {
+	if m != nil {
+		m.FailoversTotal.Inc()
+	}
+}
+
+func (m *Metrics) hedge() {
+	if m != nil {
+		m.HedgesTotal.Inc()
+	}
+}
+
+func (m *Metrics) workerDead() {
+	if m != nil {
+		m.WorkersDeadTotal.Inc()
+	}
+}
+
+func (m *Metrics) merged(n int) {
+	if m != nil {
+		m.PointsMergedTotal.Add(uint64(n))
+	}
+}
+
+func (m *Metrics) queueDepth(n int) {
+	if m != nil {
+		m.QueueDepth.Set(float64(n))
+	}
+}
+
+func (m *Metrics) inflight(worker string, delta float64) {
+	if m != nil {
+		m.InflightShards.With(worker).Add(delta)
+	}
+}
+
+func (m *Metrics) pending(n int) {
+	if m != nil {
+		m.ReorderPending.Set(float64(n))
+	}
+}

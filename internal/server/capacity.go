@@ -1,0 +1,43 @@
+package server
+
+import "net/http"
+
+// capacityResponse is the GET /capacity body: the admission limits the
+// daemon was configured with plus a live load snapshot. A distributed sweep
+// coordinator (internal/dsweep) reads it before dispatching work, so shard
+// sizes respect maxPoints, per-worker concurrency respects maxJobs, and
+// sweepWorkers weights the shard partition toward the beefier workers.
+type capacityResponse struct {
+	// MaxJobs and QueueDepth are the admission bounds (concurrent jobs and
+	// waiting jobs before 429); SweepWorkers is the engine parallelism
+	// inside one sweep job.
+	MaxJobs      int `json:"maxJobs"`
+	QueueDepth   int `json:"queueDepth"`
+	SweepWorkers int `json:"sweepWorkers"`
+	// MaxPoints and MaxNodes are the request-size guards: the largest sweep
+	// shard and the largest tree this worker accepts.
+	MaxPoints int `json:"maxPoints"`
+	MaxNodes  int `json:"maxNodes"`
+	// Inflight and Queued snapshot current load; Draining reports whether
+	// the daemon has begun its graceful shutdown (it will refuse new jobs).
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	Draining bool  `json:"draining"`
+}
+
+// handleCapacity advertises the worker's configured limits. It always
+// answers 200 — even while draining — so a coordinator can distinguish "up
+// but shutting down" (Draining true: stop dispatching, don't fail over yet)
+// from "gone" (connection error: fail the worker's shards over).
+func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, capacityResponse{
+		MaxJobs:      s.cfg.MaxJobs,
+		QueueDepth:   s.cfg.QueueDepth,
+		SweepWorkers: s.cfg.SweepWorkers,
+		MaxPoints:    s.cfg.MaxPoints,
+		MaxNodes:     s.cfg.MaxNodes,
+		Inflight:     s.inflight.Load(),
+		Queued:       s.queued.Load(),
+		Draining:     s.Draining(),
+	})
+}

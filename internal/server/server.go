@@ -1,6 +1,8 @@
-// Package server implements the bfdnd HTTP daemon: a long-running,
-// cancellation-aware front end over the bfdn facade and the parallel sweep
-// engine (internal/sweep).
+// Package server implements the bfdnd HTTP daemon (DESIGN.md S24): a
+// long-running, cancellation-aware front end over the bfdn facade and the
+// parallel sweep engine (internal/sweep) — reproduction infrastructure
+// serving the paper's algorithms over HTTP, with no paper semantics of
+// its own.
 //
 // The daemon is stdlib-only and built around three ideas:
 //
@@ -21,8 +23,10 @@
 //
 // Endpoints: POST /v1/explore (one exploration, JSON report), POST /v1/sweep
 // (a grid of runs, streamed as JSONL in point order), GET /healthz, GET
-// /metrics (Prometheus text exposition of the per-Server registry), a thin
-// expvar-compatible view under /debug/vars, and net/http/pprof under
+// /capacity (the admission limits and a load snapshot, read by the
+// distributed sweep coordinator in internal/dsweep for weighted sharding),
+// GET /metrics (Prometheus text exposition of the per-Server registry), a
+// thin expvar-compatible view under /debug/vars, and net/http/pprof under
 // /debug/pprof/.
 //
 // Observability is per-Server: every Server owns an obs.Registry (request
@@ -149,6 +153,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /capacity", s.instrument("capacity", s.handleCapacity))
 	s.mux.Handle("GET /metrics", s.m.reg.Handler())
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)

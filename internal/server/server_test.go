@@ -447,6 +447,94 @@ func TestHealthzAndExpvar(t *testing.T) {
 	}
 }
 
+func TestCapacityEndpoint(t *testing.T) {
+	srv := New(Config{MaxJobs: 3, QueueDepth: 7, SweepWorkers: 2, MaxPoints: 500, MaxNodes: 9000})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func() capacityResponse {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/capacity")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("capacity: status %d", resp.StatusCode)
+		}
+		var c capacityResponse
+		if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c := get()
+	want := capacityResponse{MaxJobs: 3, QueueDepth: 7, SweepWorkers: 2, MaxPoints: 500, MaxNodes: 9000}
+	if c != want {
+		t.Fatalf("capacity = %+v, want %+v", c, want)
+	}
+
+	// While draining the endpoint stays up (200) but flags it, so a
+	// coordinator can stop dispatching without treating the worker as dead.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c := get(); !c.Draining {
+		t.Fatalf("capacity while draining = %+v, want Draining", c)
+	}
+}
+
+// TestSweepIndexBase is the sharding contract the distributed coordinator
+// relies on: running [lo,hi) of a grid with indexBase=lo must stream the
+// same reports the full run streams for those points.
+func TestSweepIndexBase(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	point := func(i int) string {
+		return fmt.Sprintf(`{"family":"random","n":300,"depth":8,"treeSeed":4,"k":%d,"algorithm":"bfdn"}`, 1+i%5)
+	}
+	var all []string
+	for i := 0; i < 12; i++ {
+		all = append(all, point(i))
+	}
+	run := func(body string) []sweepLine {
+		resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/sweep", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep: status %d: %s", resp.StatusCode, data)
+		}
+		lines, done := readSweepStream(t, bytes.NewReader(data))
+		if done == nil {
+			t.Fatal("sweep: no done line")
+		}
+		return lines
+	}
+	full := run(fmt.Sprintf(`{"seed":9,"points":[%s]}`, strings.Join(all, ",")))
+	lo, hi := 5, 12
+	shard := run(fmt.Sprintf(`{"seed":9,"indexBase":%d,"points":[%s]}`, lo, strings.Join(all[lo:hi], ",")))
+	if len(full) != 12 || len(shard) != hi-lo {
+		t.Fatalf("line counts: full %d, shard %d", len(full), len(shard))
+	}
+	for i, l := range shard {
+		g := full[lo+i]
+		if l.Report == nil || g.Report == nil {
+			t.Fatalf("shard line %d: missing report (%+v / %+v)", i, l, g)
+		}
+		if *l.Report != *g.Report {
+			t.Errorf("shard point %d: report %+v differs from full run %+v", i, *l.Report, *g.Report)
+		}
+	}
+
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/sweep",
+		`{"indexBase":-1,"points":[{"family":"path","n":10,"k":1}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative indexBase: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+}
+
 func TestSweepValidation(t *testing.T) {
 	srv := New(Config{MaxPoints: 4})
 	ts := httptest.NewServer(srv.Handler())

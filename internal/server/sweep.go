@@ -15,6 +15,11 @@ import (
 type sweepRequest struct {
 	// Seed scrambles the engine's deterministic per-point randomness.
 	Seed int64 `json:"seed"`
+	// IndexBase offsets per-point seed derivation: point i of this request
+	// draws its randomness from (seed, indexBase+i). A distributed
+	// coordinator (internal/dsweep) sets it to the shard's first global
+	// index so sharded results match the unsharded run exactly.
+	IndexBase int64 `json:"indexBase"`
 	// TimeoutMS bounds the whole sweep (default/cap as for /v1/explore).
 	TimeoutMS int64            `json:"timeoutMs"`
 	Points    []sweepPointSpec `json:"points"`
@@ -57,6 +62,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.Points) > s.cfg.MaxPoints {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("sweep has %d points, limit is %d", len(req.Points), s.cfg.MaxPoints))
+		return
+	}
+	if req.IndexBase < 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("need indexBase ≥ 0, got %d", req.IndexBase))
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
@@ -140,7 +150,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// totals into the server registry when the run completes; totals stay
 		// monotonically consistent under any number of concurrent sweeps.
 		stats, err := bfdn.SweepStream(ctx, points, s.cfg.SweepWorkers, req.Seed, emit,
-			bfdn.WithSweepRecorder(s.m.sweep))
+			bfdn.WithSweepRecorder(s.m.sweep), bfdn.WithSeedIndexBase(uint64(req.IndexBase)))
 		if err != nil {
 			// SweepStream validates every point before running anything, so
 			// on error no line has been written and the status is still ours.

@@ -1,8 +1,12 @@
 // Package sweep is the parallel execution engine behind every large
-// experiment grid: a sweep is a list of independent points (algorithm ×
-// tree × k × seed) that are sharded across a worker pool and executed with
-// per-worker world reuse (sim.World.Reset), so steady-state points allocate
-// almost nothing beyond what the algorithm itself needs.
+// experiment grid (DESIGN.md S23): a sweep is a list of independent points
+// (algorithm × tree × k × seed) that are sharded across a worker pool and
+// executed with per-worker world reuse (sim.World.Reset), so steady-state
+// points allocate almost nothing beyond what the algorithm itself needs.
+// It implements no part of the paper directly; it is the reproduction
+// infrastructure that drives the grids checking Theorem 1 and Figure 1
+// (experiments E1, E10, E14 and A1), the bfdnd sweep endpoint, and — one
+// level up — the distributed coordinator in internal/dsweep.
 //
 // Determinism is a hard contract: per-point randomness is derived from the
 // sweep's base seed and the point's index alone (DeriveSeed, a splitmix64
@@ -93,6 +97,12 @@ type Options struct {
 	Workers int
 	// BaseSeed scrambles every per-point seed (DeriveSeed).
 	BaseSeed uint64
+	// IndexBase offsets the index fed to DeriveSeed: point i draws its seed
+	// from DeriveSeed(BaseSeed, IndexBase+i). A distributed coordinator that
+	// splits one logical sweep into shards sets IndexBase to each shard's
+	// first global index, so every point's randomness — and therefore its
+	// result — is identical to the unsharded run regardless of placement.
+	IndexBase uint64
 	// OnResult, when non-nil, is invoked exactly once per point as soon as
 	// its Result is final — on the worker goroutine that produced it, in
 	// completion order (not point order). Canceled points are reported too,
@@ -176,12 +186,12 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 					return
 				}
 				if err := ctx.Err(); err != nil {
-					results[i] = Result{Point: i, Seed: DeriveSeed(opt.BaseSeed, uint64(i)),
+					results[i] = Result{Point: i, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(i)),
 						Err: fmt.Errorf("sweep: point %d: %w", i, err)}
 					rec.point(time.Since(start), 0, true)
 				} else {
 					t0 := time.Now()
-					results[i] = runPoint(ctx, &world, points[i], i, opt.BaseSeed)
+					results[i] = runPoint(ctx, &world, points[i], i, opt)
 					d := time.Since(t0)
 					busyLocal += d
 					rec.point(t0.Sub(start), d, results[i].Err != nil)
@@ -215,8 +225,8 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 // runPoint executes one point on the worker's recycled world. world is the
 // worker-local slot: nil before the first point, reused (via Reset)
 // afterwards.
-func runPoint(ctx context.Context, world **sim.World, p Point, index int, baseSeed uint64) Result {
-	res := Result{Point: index, Seed: DeriveSeed(baseSeed, uint64(index))}
+func runPoint(ctx context.Context, world **sim.World, p Point, index int, opt Options) Result {
+	res := Result{Point: index, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(index))}
 	if p.Tree == nil {
 		res.Err = fmt.Errorf("sweep: point %d: nil tree", index)
 		return res

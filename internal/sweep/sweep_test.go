@@ -111,6 +111,31 @@ func TestRunBaseSeedChangesRandomizedPoints(t *testing.T) {
 	}
 }
 
+// TestRunIndexBaseMatchesGlobalRun is the sharding contract behind
+// internal/dsweep: running a slice of a grid with IndexBase set to the
+// slice's first global index must reproduce the unsharded run's results for
+// those points exactly, including the randomized-policy points.
+func TestRunIndexBaseMatchesGlobalRun(t *testing.T) {
+	pts := testGrid(t)
+	all, _ := Run(pts, Options{Workers: 2, BaseSeed: 7})
+	for _, shard := range [][2]int{{0, 5}, {5, 13}, {13, len(pts)}} {
+		lo, hi := shard[0], shard[1]
+		part, _ := Run(pts[lo:hi], Options{Workers: 2, BaseSeed: 7, IndexBase: uint64(lo)})
+		for i, r := range part {
+			g := all[lo+i]
+			if r.Seed != g.Seed {
+				t.Errorf("shard [%d,%d) point %d: seed %x, global run has %x", lo, hi, i, r.Seed, g.Seed)
+			}
+			if r.Err != nil || g.Err != nil {
+				t.Fatalf("shard [%d,%d) point %d: errs %v / %v", lo, hi, i, r.Err, g.Err)
+			}
+			if !reflect.DeepEqual(r.Result, g.Result) {
+				t.Errorf("shard [%d,%d) point %d: result %+v differs from global %+v", lo, hi, i, r.Result, g.Result)
+			}
+		}
+	}
+}
+
 func TestDeriveSeed(t *testing.T) {
 	if DeriveSeed(1, 2) != DeriveSeed(1, 2) {
 		t.Error("DeriveSeed not deterministic")

@@ -1,5 +1,6 @@
 // Package table renders small aligned text tables and CSV for the
-// experiment harness.
+// experiment harness — reproduction infrastructure for the paper-vs-
+// measured tables of EXPERIMENTS.md, with no paper semantics of its own.
 package table
 
 import (

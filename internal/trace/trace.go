@@ -1,7 +1,9 @@
 // Package trace records and renders exploration runs: per-round robot
 // positions, the exploration progress curve, and an ASCII rendering of
 // small trees with robot markers — the debugging and demo layer used by
-// cmd/bfdnsim -trace and examples/visualize.
+// cmd/bfdnsim -trace and examples/visualize. It implements no part of the
+// paper; it exists to make the simulated model (internal/sim, the
+// synchronous model of §2) visible run by run.
 package trace
 
 import (

@@ -1,0 +1,18 @@
+#!/bin/sh
+# checkdocs.sh — fail when any package is missing its package comment.
+#
+# Every internal/* package (and the root bfdn package) must open with a
+# doc comment stating what it implements and, where applicable, which part
+# of the paper it reproduces. go list exposes the parsed comment as .Doc;
+# an empty .Doc means the package has none.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/... .)
+if [ -n "$missing" ]; then
+    echo "packages missing a package comment:" >&2
+    echo "$missing" >&2
+    exit 1
+fi
+echo "all packages documented"
