@@ -190,15 +190,16 @@ func e14SweepGrid(b *testing.B) []sweep.Point {
 		tree.UnevenPaths(64, 40),
 	}
 	var pts []sweep.Point
+	bfdnHook := core.RecycleAlgorithm()
 	for _, tr := range trees {
 		for _, k := range []int{2, 8, 32, 128} {
 			pts = append(pts,
 				sweep.Point{Tree: tr, K: k, NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
 					return core.NewAlgorithm(k)
-				}},
+				}, ResetAlgorithm: bfdnHook},
 				sweep.Point{Tree: tr, K: k, NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
 					return cte.New(k)
-				}})
+				}, ResetAlgorithm: cte.Recycle})
 		}
 	}
 	return pts
@@ -230,11 +231,12 @@ func BenchmarkSweepE14(b *testing.B) {
 // benchSweepExplore executes b.N identical runs as one sweep batch, so the
 // worker's world is recycled via Reset across iterations — the engine port
 // of the fresh-world micro-benchmarks below.
-func benchSweepExplore(b *testing.B, t *tree.Tree, k int, factory func(int, *rand.Rand) sim.Algorithm) {
+func benchSweepExplore(b *testing.B, t *tree.Tree, k int, factory func(int, *rand.Rand) sim.Algorithm,
+	reset func(sim.Algorithm, int, *rand.Rand) sim.Algorithm) {
 	b.Helper()
 	pts := make([]sweep.Point, b.N)
 	for i := range pts {
-		pts[i] = sweep.Point{Tree: t, K: k, NewAlgorithm: factory}
+		pts[i] = sweep.Point{Tree: t, K: k, NewAlgorithm: factory, ResetAlgorithm: reset}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -251,13 +253,17 @@ func benchSweepExplore(b *testing.B, t *tree.Tree, k int, factory func(int, *ran
 // variant is the world-recycling saving.
 func BenchmarkBFDNExploreSweep(b *testing.B) {
 	t := benchTree(b, 50_000, 40)
-	benchSweepExplore(b, t, 64, func(k int, _ *rand.Rand) sim.Algorithm { return core.NewAlgorithm(k) })
+	benchSweepExplore(b, t, 64,
+		func(k int, _ *rand.Rand) sim.Algorithm { return core.NewAlgorithm(k) },
+		core.RecycleAlgorithm())
 }
 
 // BenchmarkCTEExploreSweep is the CTE workload on the engine's reuse path.
 func BenchmarkCTEExploreSweep(b *testing.B) {
 	t := benchTree(b, 50_000, 40)
-	benchSweepExplore(b, t, 64, func(k int, _ *rand.Rand) sim.Algorithm { return cte.New(k) })
+	benchSweepExplore(b, t, 64,
+		func(k int, _ *rand.Rand) sim.Algorithm { return cte.New(k) },
+		cte.Recycle)
 }
 
 // --- engine micro-benchmarks ---------------------------------------------

@@ -640,7 +640,8 @@ func SweepStream(ctx context.Context, points []SweepPoint, workers int, seed int
 					return nil
 				}
 				return a
-			}}
+			},
+			ResetAlgorithm: recycleHook(cfg)}
 	}
 	var emit func(sweep.Result)
 	if onResult != nil {
@@ -662,6 +663,25 @@ func SweepStream(ctx context.Context, points []SweepPoint, workers int, seed int
 		Utilization:    stats.Utilization,
 		Errors:         stats.Errors,
 	}, nil
+}
+
+// recycleHook selects the sweep factory-reset hook for cfg's algorithm, so
+// steady-state sweep points reuse the worker's previous BFDN or CTE instance
+// (byte-identical to fresh construction) instead of constructing a new one.
+// Algorithms without a reuse path return nil and construct fresh.
+func recycleHook(cfg config) func(prev sim.Algorithm, k int, rng *rand.Rand) sim.Algorithm {
+	switch cfg.alg {
+	case BFDN:
+		coreOpts := []core.Option{core.WithPolicy(cfg.policy)}
+		if cfg.shortcut {
+			coreOpts = append(coreOpts, core.WithShortcutReanchor())
+		}
+		return core.RecycleAlgorithm(coreOpts...)
+	case CTE:
+		return cte.Recycle
+	default:
+		return nil
+	}
 }
 
 // convertSweepResult maps an engine result to the facade form, attaching the

@@ -28,7 +28,7 @@ import (
 // robots) or NewInstance (sub-exploration for the recursive construction).
 type BFDN struct {
 	robots    []int
-	isMine    map[int]bool
+	isMine    bitset
 	root      tree.NodeID
 	rootDepth int
 	// maxAnchorDepth limits the relative depth of assigned anchors
@@ -43,6 +43,40 @@ type BFDN struct {
 	rs     []robotState
 	stats  Stats
 	seeded bool
+	// reanchorAt scratch (shortcut mode): the down-chain and up-chain of the
+	// shortest explored path, reused across re-anchors.
+	scratchDown []tree.NodeID
+	scratchUps  []tree.NodeID
+}
+
+// bitset is a dense robot-id set; it replaces the map[int]bool whose lookups
+// sat on the absorb hot path (one hash per explore event per round).
+type bitset []uint64
+
+func (s bitset) has(i int) bool {
+	w := i >> 6
+	return w < len(s) && s[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (s *bitset) setBits(ids []int) {
+	max := 0
+	for _, i := range ids {
+		if i > max {
+			max = i
+		}
+	}
+	words := max>>6 + 1
+	if cap(*s) >= words {
+		*s = (*s)[:words]
+		for w := range *s {
+			(*s)[w] = 0
+		}
+	} else {
+		*s = make(bitset, words)
+	}
+	for _, i := range ids {
+		(*s)[i>>6] |= 1 << (uint(i) & 63)
+	}
 }
 
 type robotState struct {
@@ -94,20 +128,50 @@ func New(k int, opts ...Option) *BFDN {
 func NewInstance(robots []int, root tree.NodeID, opts ...Option) *BFDN {
 	b := &BFDN{
 		robots:         robots,
-		isMine:         make(map[int]bool, len(robots)),
 		root:           root,
 		maxAnchorDepth: -1,
 		policy:         LeastLoaded,
 	}
-	for _, r := range robots {
-		b.isMine[r] = true
-	}
+	b.isMine.setBits(robots)
 	for _, o := range opts {
 		o(b)
 	}
 	b.idx = newAnchorIndex(b.policy != MostLoaded)
 	b.rs = make([]robotState, len(robots))
 	return b
+}
+
+// Reset re-initializes b to the state of a fresh New/NewInstance with the
+// given robots and root, keeping its configuration (policy, anchor-depth
+// limit, shortcut and recording flags) and reusing every internal buffer —
+// the anchor index's buckets and heaps, per-robot BF stacks, and re-anchor
+// scratch. rng replaces the randomness source (it may be nil for
+// deterministic policies). A run on a Reset instance is byte-identical to a
+// run on a freshly constructed one; the sweep engine's algorithm-reuse path
+// relies on this.
+func (b *BFDN) Reset(robots []int, root tree.NodeID, rng *rand.Rand) {
+	if cap(b.robots) >= len(robots) {
+		b.robots = b.robots[:len(robots)]
+		copy(b.robots, robots)
+	} else {
+		b.robots = append([]int(nil), robots...)
+	}
+	b.isMine.setBits(b.robots)
+	b.root = root
+	b.rootDepth = 0
+	b.rng = rng
+	b.idx.reset()
+	if cap(b.rs) >= len(robots) {
+		b.rs = b.rs[:len(robots)]
+	} else {
+		b.rs = make([]robotState, len(robots))
+	}
+	for j := range b.rs {
+		st := &b.rs[j]
+		*st = robotState{stack: st.stack[:0]}
+	}
+	b.stats.reset()
+	b.seeded = false
 }
 
 // Stats returns the accumulated instrumentation.
@@ -153,7 +217,7 @@ func (b *BFDN) seed(v *sim.View) {
 // round that were caused by this instance's robots.
 func (b *BFDN) absorb(v *sim.View, events []sim.ExploreEvent) {
 	for _, e := range events {
-		if !b.isMine[e.Robot] {
+		if !b.isMine.has(e.Robot) {
 			continue
 		}
 		if e.NewDangling > 0 {
@@ -273,7 +337,7 @@ func (b *BFDN) reanchorAt(v *sim.View, j, robot int, pos tree.NodeID) {
 	for v.DepthOf(a) > v.DepthOf(c) {
 		a = v.Parent(a)
 	}
-	var down []tree.NodeID
+	down := b.scratchDown[:0]
 	for v.DepthOf(c) > v.DepthOf(a) {
 		down = append(down, c)
 		c = v.Parent(c)
@@ -283,7 +347,7 @@ func (b *BFDN) reanchorAt(v *sim.View, j, robot int, pos tree.NodeID) {
 		down = append(down, c)
 		c = v.Parent(c)
 	}
-	var ups []tree.NodeID
+	ups := b.scratchUps[:0]
 	for x := pos; x != a; x = v.Parent(x) {
 		ups = append(ups, v.Parent(x))
 	}
@@ -291,6 +355,7 @@ func (b *BFDN) reanchorAt(v *sim.View, j, robot int, pos tree.NodeID) {
 	for i := len(ups) - 1; i >= 0; i-- {
 		st.stack = append(st.stack, ups[i])
 	}
+	b.scratchDown, b.scratchUps = down[:0], ups[:0]
 }
 
 // assignAnchor finishes the robot's excursion bookkeeping and picks its next
@@ -389,6 +454,54 @@ func NewAlgorithm(k int, opts ...Option) *Algorithm {
 
 // Inner exposes the underlying instance (for stats).
 func (a *Algorithm) Inner() *BFDN { return a.b }
+
+// Reset re-initializes a for a fresh whole-tree run with k robots, keeping
+// the instance's configuration and reusing all internal buffers. rng replaces
+// the randomness source (needed by the RandomOpen policy; nil otherwise).
+func (a *Algorithm) Reset(k int, rng *rand.Rand) {
+	if cap(a.b.robots) >= k {
+		a.b.robots = a.b.robots[:k]
+	} else {
+		a.b.robots = make([]int, k)
+	}
+	for i := range a.b.robots {
+		a.b.robots[i] = i
+	}
+	a.b.Reset(a.b.robots, tree.Root, rng)
+	if cap(a.moves) >= k {
+		a.moves = a.moves[:k]
+	} else {
+		a.moves = make([]sim.Move, k)
+	}
+	for i := range a.moves {
+		a.moves[i] = sim.Move{}
+	}
+}
+
+// RecycleAlgorithm returns a factory-reset hook for the sweep engine's
+// algorithm-reuse path (sweep.Point.ResetAlgorithm): offered the worker's
+// previous algorithm instance, it resets and returns it when that instance is
+// a whole-tree BFDN Algorithm with exactly the configuration the given
+// options describe; otherwise it returns nil and the engine falls back to
+// fresh construction. One hook value can be shared by any number of points.
+func RecycleAlgorithm(opts ...Option) func(prev sim.Algorithm, k int, rng *rand.Rand) sim.Algorithm {
+	probe := BFDN{maxAnchorDepth: -1, policy: LeastLoaded}
+	for _, o := range opts {
+		o(&probe)
+	}
+	return func(prev sim.Algorithm, k int, rng *rand.Rand) sim.Algorithm {
+		a, ok := prev.(*Algorithm)
+		if !ok || a.b.root != tree.Root ||
+			a.b.policy != probe.policy ||
+			a.b.maxAnchorDepth != probe.maxAnchorDepth ||
+			a.b.recordExc != probe.recordExc ||
+			a.b.shortcut != probe.shortcut {
+			return nil
+		}
+		a.Reset(k, rng)
+		return a
+	}
+}
 
 // SelectMoves implements sim.Algorithm.
 func (a *Algorithm) SelectMoves(v *sim.View, events []sim.ExploreEvent) ([]sim.Move, error) {

@@ -59,6 +59,13 @@ func (g *nodeInts) add(v tree.NodeID, d int32) int32 {
 	return nv
 }
 
+// reset refills the backing array with the default value, keeping capacity.
+func (g *nodeInts) reset() {
+	for i := range g.vals {
+		g.vals[i] = g.fill
+	}
+}
+
 type loadEntry struct {
 	node tree.NodeID
 	load int32
@@ -107,6 +114,20 @@ func newAnchorIndex(minLoadOrder bool) *anchorIndex {
 		loads: nodeInts{fill: 0},
 		sign:  sign,
 	}
+}
+
+// reset empties the index in place — bucket member lists, heaps and cursors,
+// the load and position tables, and the depth cursor — keeping every backing
+// array, so a recycled BFDN instance re-seeds without allocating.
+func (a *anchorIndex) reset() {
+	for _, b := range a.buckets {
+		b.members = b.members[:0]
+		b.heap = b.heap[:0]
+		b.cursor = 0
+	}
+	a.minDepth = 0
+	a.loads.reset()
+	a.pos.reset()
 }
 
 func (a *anchorIndex) bucket(depth int) *depthBucket {

@@ -35,6 +35,13 @@ func (s *Stats) MaxReanchorsAtDepth() int {
 	return best
 }
 
+// reset zeroes the instrumentation in place, keeping slice capacity.
+func (s *Stats) reset() {
+	s.ReanchorsPerDepth = s.ReanchorsPerDepth[:0]
+	s.Excursions = s.Excursions[:0]
+	s.IdleSelections = 0
+}
+
 func (s *Stats) countReanchor(depth int) {
 	for depth >= len(s.ReanchorsPerDepth) {
 		s.ReanchorsPerDepth = append(s.ReanchorsPerDepth, 0)

@@ -15,6 +15,8 @@ package cte
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 
 	"bfdn/internal/sim"
 	"bfdn/internal/tree"
@@ -25,10 +27,39 @@ type CTE struct {
 	k int
 	// open[v] counts dangling edges in T(v) (maintained from explore events).
 	open nodeCounts
-	// scratch buffers reused across rounds.
-	moves  []sim.Move
-	groups map[tree.NodeID][]int
-	seeded bool
+	// scratch buffers reused across rounds: moves is the returned move
+	// vector; ents is the robots-sorted-by-position grouping (replacing the
+	// map[NodeID][]int that was rebuilt — one allocation per occupied node —
+	// every round); targets is the per-group alive-target list.
+	moves   []sim.Move
+	ents    posEntries
+	targets []target
+	seeded  bool
+}
+
+// posEntry pairs a robot with its position for the per-round group-by.
+type posEntry struct {
+	pos tree.NodeID
+	id  int32
+}
+
+// posEntries implements sort.Interface ordering by (pos, id); sorting by the
+// pair (rather than a stable sort on pos alone) keeps robots within a group
+// in index order, exactly as the map-based grouping appended them.
+type posEntries []posEntry
+
+func (e posEntries) Len() int { return len(e) }
+func (e posEntries) Less(i, j int) bool {
+	return e[i].pos < e[j].pos || (e[i].pos == e[j].pos && e[i].id < e[j].id)
+}
+func (e posEntries) Swap(i, j int) { e[i], e[j] = e[j], e[i] }
+
+// target is one alive destination of a group: an explored child with an open
+// subtree, or a dangling edge at the node itself.
+type target struct {
+	kind   sim.MoveKind
+	child  tree.NodeID
+	ticket sim.Ticket
 }
 
 var _ sim.Algorithm = (*CTE)(nil)
@@ -55,10 +86,32 @@ func (g *nodeCounts) add(v tree.NodeID, d int32) {
 // New returns a CTE instance for k robots.
 func New(k int) *CTE {
 	return &CTE{
-		k:      k,
-		moves:  make([]sim.Move, k),
-		groups: make(map[tree.NodeID][]int),
+		k:     k,
+		moves: make([]sim.Move, k),
+		ents:  make(posEntries, 0, k),
 	}
+}
+
+// Reset re-initializes c to the start state of a fresh New(k) while keeping
+// every scratch buffer, so a recycled instance runs without constructing
+// anything. A run on a Reset instance is byte-identical to a run on a fresh
+// one; the sweep engine's algorithm-reuse path relies on this.
+func (c *CTE) Reset(k int) {
+	c.k = k
+	if cap(c.moves) >= k {
+		c.moves = c.moves[:k]
+	} else {
+		c.moves = make([]sim.Move, k)
+	}
+	for i := range c.moves {
+		c.moves[i] = sim.Move{}
+	}
+	for i := range c.open.vals {
+		c.open.vals[i] = 0
+	}
+	c.ents = c.ents[:0]
+	c.targets = c.targets[:0]
+	c.seeded = false
 }
 
 // SelectMoves implements sim.Algorithm.
@@ -83,47 +136,49 @@ func (c *CTE) SelectMoves(v *sim.View, events []sim.ExploreEvent) ([]sim.Move, e
 		}
 	}
 
-	// Group robots by position.
-	for node := range c.groups {
-		delete(c.groups, node)
-	}
+	// Group robots by position: sort (position, robot) pairs in reusable
+	// scratch and walk the runs of equal position. Groups are disjoint by
+	// node and reservations are per-node, so processing groups in ascending
+	// node order (rather than the old map iteration order) produces the
+	// identical move vector with zero per-round allocation.
+	c.ents = c.ents[:0]
 	for i := 0; i < c.k; i++ {
-		p := v.Pos(i)
-		c.groups[p] = append(c.groups[p], i)
+		c.ents = append(c.ents, posEntry{pos: v.Pos(i), id: int32(i)})
 	}
+	sort.Sort(&c.ents)
 
-	for node, robots := range c.groups {
-		if err := c.decideGroup(v, node, robots); err != nil {
+	for lo := 0; lo < len(c.ents); {
+		hi := lo + 1
+		for hi < len(c.ents) && c.ents[hi].pos == c.ents[lo].pos {
+			hi++
+		}
+		if err := c.decideGroup(v, c.ents[lo].pos, c.ents[lo:hi]); err != nil {
 			return nil, err
 		}
+		lo = hi
 	}
 	return c.moves, nil
 }
 
 // decideGroup assigns this round's moves for the robots located at node.
-func (c *CTE) decideGroup(v *sim.View, node tree.NodeID, robots []int) error {
+func (c *CTE) decideGroup(v *sim.View, node tree.NodeID, robots []posEntry) error {
 	if c.open.get(node) == 0 {
 		// Subtree fully explored: head home.
-		for _, i := range robots {
+		for _, e := range robots {
 			if node == tree.Root {
-				c.moves[i] = sim.Move{Kind: sim.Stay}
+				c.moves[e.id] = sim.Move{Kind: sim.Stay}
 			} else {
-				c.moves[i] = sim.Move{Kind: sim.Up}
+				c.moves[e.id] = sim.Move{Kind: sim.Up}
 			}
 		}
 		return nil
 	}
 	// Alive targets: explored children with open subtrees, then dangling
 	// edges at node (one target per dangling edge, shared tickets).
-	type target struct {
-		kind   sim.MoveKind
-		child  tree.NodeID
-		ticket sim.Ticket
-	}
-	var targets []target
+	c.targets = c.targets[:0]
 	for _, ch := range v.ExploredChildren(node) {
 		if c.open.get(ch) > 0 {
-			targets = append(targets, target{kind: sim.Down, child: ch})
+			c.targets = append(c.targets, target{kind: sim.Down, child: ch})
 		}
 	}
 	nd := v.UnreservedDanglingAt(node)
@@ -135,22 +190,22 @@ func (c *CTE) decideGroup(v *sim.View, node tree.NodeID, robots []int) error {
 		if !ok {
 			return fmt.Errorf("cte: node %d: reservation failed with %d reported dangling", node, nd)
 		}
-		targets = append(targets, target{kind: sim.Explore, ticket: tk})
+		c.targets = append(c.targets, target{kind: sim.Explore, ticket: tk})
 	}
-	if len(targets) == 0 {
+	if len(c.targets) == 0 {
 		// open>0 but nothing actionable at node: all dangling edges here were
 		// reserved by other groups (impossible: groups are disjoint by node)
 		// — defensive error.
 		return fmt.Errorf("cte: node %d: open subtree without alive targets", node)
 	}
 	// Even split: robot j goes to target j mod len(targets).
-	for j, i := range robots {
-		t := targets[j%len(targets)]
+	for j, e := range robots {
+		t := c.targets[j%len(c.targets)]
 		switch t.kind {
 		case sim.Down:
-			c.moves[i] = sim.Move{Kind: sim.Down, Child: t.child}
+			c.moves[e.id] = sim.Move{Kind: sim.Down, Child: t.child}
 		case sim.Explore:
-			c.moves[i] = sim.Move{Kind: sim.Explore, Ticket: t.ticket}
+			c.moves[e.id] = sim.Move{Kind: sim.Explore, Ticket: t.ticket}
 		}
 	}
 	return nil
@@ -158,3 +213,15 @@ func (c *CTE) decideGroup(v *sim.View, node tree.NodeID, robots []int) error {
 
 // NewAlgorithm is a convenience constructor mirroring core.NewAlgorithm.
 func NewAlgorithm(k int) *CTE { return New(k) }
+
+// Recycle is the factory-reset hook for the sweep engine's algorithm-reuse
+// path (sweep.Point.ResetAlgorithm): it resets and returns the worker's
+// previous instance when it is a CTE, and returns nil (fresh construction)
+// otherwise. CTE takes no configuration, so any instance is recyclable.
+func Recycle(prev sim.Algorithm, k int, _ *rand.Rand) sim.Algorithm {
+	if c, ok := prev.(*CTE); ok {
+		c.Reset(k)
+		return c
+	}
+	return nil
+}

@@ -73,7 +73,11 @@ type World struct {
 	// are exactly children(v)[:nextKid[v]].
 	nextKid []int32
 	// reservedRound/reservedCount implement per-round dangling reservation.
-	reservedRound []int32
+	// reservedRound stores round values and deliberately shares round's int
+	// type: a narrower element type would silently truncate the comparison in
+	// reservedThisRound once the round counter passes its range, re-issuing
+	// already-reserved dangling edges.
+	reservedRound []int
 	reservedCount []int32
 
 	round    int
@@ -99,7 +103,7 @@ func NewWorld(t *tree.Tree, k int) (*World, error) {
 		explored:      make([]bool, t.N()),
 		exploredCount: 1,
 		nextKid:       make([]int32, t.N()),
-		reservedRound: make([]int32, t.N()),
+		reservedRound: make([]int, t.N()),
 		reservedCount: make([]int32, t.N()),
 		metrics:       newMetrics(k),
 	}
@@ -219,7 +223,7 @@ func (w *World) danglingAt(v tree.NodeID) int {
 }
 
 func (w *World) reservedThisRound(v tree.NodeID) int {
-	if int(w.reservedRound[v]) != w.round {
+	if w.reservedRound[v] != w.round {
 		return 0
 	}
 	return int(w.reservedCount[v])
@@ -234,8 +238,8 @@ func (w *World) reserveDangling(v tree.NodeID) (Ticket, bool) {
 	if idx >= w.t.NumChildren(v) {
 		return Ticket{}, false
 	}
-	if int(w.reservedRound[v]) != w.round {
-		w.reservedRound[v] = int32(w.round)
+	if w.reservedRound[v] != w.round {
+		w.reservedRound[v] = w.round
 		w.reservedCount[v] = 0
 	}
 	w.reservedCount[v]++

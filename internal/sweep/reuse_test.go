@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bfdn/internal/core"
+	"bfdn/internal/cte"
+	"bfdn/internal/sim"
+	"bfdn/internal/tree"
+)
+
+// reuseGrid builds a mixed grid that forces the worker's algorithm slot
+// through every transition: BFDN→BFDN (recycled), BFDN→CTE and CTE→BFDN
+// (type mismatch, fresh construction), differing k, differing trees, and a
+// randomized policy that must draw identical rng streams on both paths.
+func reuseGrid(withHooks bool) []Point {
+	rng := rand.New(rand.NewSource(5))
+	trees := []*tree.Tree{
+		tree.Random(800, 20, rng),
+		tree.UnevenPaths(16, 25),
+		tree.Comb(30, 6),
+	}
+	bfdnHook := core.RecycleAlgorithm()
+	randomHook := core.RecycleAlgorithm(core.WithPolicy(core.RandomOpen))
+	var pts []Point
+	for _, tr := range trees {
+		for _, k := range []int{2, 7, 32} {
+			bfdn := Point{Tree: tr, K: k, NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
+				return core.NewAlgorithm(k)
+			}}
+			ct := Point{Tree: tr, K: k, NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
+				return cte.New(k)
+			}}
+			random := Point{Tree: tr, K: k, NewAlgorithm: func(k int, rng *rand.Rand) sim.Algorithm {
+				return core.NewAlgorithm(k, core.WithPolicy(core.RandomOpen), core.WithRand(rng))
+			}}
+			if withHooks {
+				bfdn.ResetAlgorithm = bfdnHook
+				ct.ResetAlgorithm = cte.Recycle
+				random.ResetAlgorithm = func(prev sim.Algorithm, k int, rng *rand.Rand) sim.Algorithm {
+					if a := randomHook(prev, k, rng); a != nil {
+						// RecycleAlgorithm installs rng via Reset, matching the
+						// fresh factory's WithRand(rng).
+						return a
+					}
+					return nil
+				}
+			}
+			pts = append(pts, bfdn, ct, random)
+		}
+	}
+	return pts
+}
+
+// TestAlgorithmReuseByteIdentical is the determinism contract extended to
+// recycled algorithms: a sweep whose points recycle the worker's previous
+// algorithm instance must produce results deep-equal to fresh-construction
+// runs, at every worker count (different worker counts shuffle which
+// instance each point inherits).
+func TestAlgorithmReuseByteIdentical(t *testing.T) {
+	fresh, _ := Run(reuseGrid(false), Options{Workers: 1, BaseSeed: 42})
+	if err := JoinErrors(fresh); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		reused, _ := Run(reuseGrid(true), Options{Workers: workers, BaseSeed: 42})
+		if err := JoinErrors(reused); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(fresh, reused) {
+			for i := range fresh {
+				if !reflect.DeepEqual(fresh[i], reused[i]) {
+					t.Errorf("workers=%d: point %d differs with algorithm reuse:\nfresh:  %+v\nreused: %+v",
+						workers, i, fresh[i], reused[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReuseHookFallback checks that a hook returning nil falls back to the
+// factory instead of failing the point.
+func TestReuseHookFallback(t *testing.T) {
+	tr := tree.Path(50)
+	rejectAll := func(prev sim.Algorithm, k int, rng *rand.Rand) sim.Algorithm { return nil }
+	pts := []Point{
+		{Tree: tr, K: 2, NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm { return core.NewAlgorithm(k) }},
+		{Tree: tr, K: 2, ResetAlgorithm: rejectAll,
+			NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm { return core.NewAlgorithm(k) }},
+	}
+	results, _ := Run(pts, Options{Workers: 1, BaseSeed: 9})
+	if err := JoinErrors(results); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[0].Result, results[1].Result) {
+		t.Errorf("fallback point differs: %+v vs %+v", results[0].Result, results[1].Result)
+	}
+}

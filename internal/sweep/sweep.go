@@ -42,6 +42,15 @@ type Point struct {
 	// deterministic regardless of worker count or execution order. The
 	// factory must not share mutable state across points.
 	NewAlgorithm func(k int, rng *rand.Rand) sim.Algorithm
+	// ResetAlgorithm, when non-nil, lets the point recycle the worker's
+	// previous algorithm instance the way worlds are already recycled via
+	// sim.World.Reset: the hook is offered the instance the worker last ran
+	// (never nil) and either resets it in place for k robots and returns it,
+	// or returns nil to fall back to NewAlgorithm. Implementations must
+	// reset to a state byte-identical to fresh construction — the engine's
+	// determinism contract extends to reused algorithms (see
+	// core.RecycleAlgorithm and cte.Recycle for the canonical hooks).
+	ResetAlgorithm func(prev sim.Algorithm, k int, rng *rand.Rand) sim.Algorithm
 	// MaxRounds caps the run; ≤ 0 selects the paper's termination cap
 	// (see sim.Run).
 	MaxRounds int64
@@ -172,6 +181,7 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 		go func(wk int) {
 			defer wg.Done()
 			var world *sim.World
+			var alg sim.Algorithm
 			// Busy time accumulates in a goroutine-local variable and is
 			// stored once at exit: adjacent busy[wk] slots share cache lines,
 			// and a per-point store from every worker would ping-pong them.
@@ -191,7 +201,7 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 					rec.point(time.Since(start), 0, true)
 				} else {
 					t0 := time.Now()
-					results[i] = runPoint(ctx, &world, points[i], i, opt)
+					results[i] = runPoint(ctx, &world, &alg, points[i], i, opt)
 					d := time.Since(t0)
 					busyLocal += d
 					rec.point(t0.Sub(start), d, results[i].Err != nil)
@@ -222,10 +232,11 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 	return results, stats
 }
 
-// runPoint executes one point on the worker's recycled world. world is the
-// worker-local slot: nil before the first point, reused (via Reset)
-// afterwards.
-func runPoint(ctx context.Context, world **sim.World, p Point, index int, opt Options) Result {
+// runPoint executes one point on the worker's recycled world. world and
+// prevAlg are the worker-local slots: nil before the first point; the world
+// is always reused (via Reset), the algorithm only when the point's
+// ResetAlgorithm hook accepts the previous instance.
+func runPoint(ctx context.Context, world **sim.World, prevAlg *sim.Algorithm, p Point, index int, opt Options) Result {
 	res := Result{Point: index, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(index))}
 	if p.Tree == nil {
 		res.Err = fmt.Errorf("sweep: point %d: nil tree", index)
@@ -249,11 +260,18 @@ func runPoint(ctx context.Context, world **sim.World, p Point, index int, opt Op
 		return res
 	}
 	rng := rand.New(rand.NewSource(int64(res.Seed)))
-	alg := p.NewAlgorithm(p.K, rng)
+	var alg sim.Algorithm
+	if p.ResetAlgorithm != nil && *prevAlg != nil {
+		alg = p.ResetAlgorithm(*prevAlg, p.K, rng)
+	}
+	if alg == nil {
+		alg = p.NewAlgorithm(p.K, rng)
+	}
 	if alg == nil {
 		res.Err = fmt.Errorf("sweep: point %d: algorithm factory returned nil", index)
 		return res
 	}
+	*prevAlg = alg
 	r, err := sim.RunContext(ctx, w, alg, p.MaxRounds)
 	if err != nil {
 		res.Err = fmt.Errorf("sweep: point %d: %w", index, err)

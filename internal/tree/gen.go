@@ -11,7 +11,7 @@ import (
 
 // Path returns a path with n nodes (depth n-1). n must be ≥ 1.
 func Path(n int) *Tree {
-	b := NewBuilder()
+	b := NewBuilderCap(n)
 	b.AddPath(Root, n-1)
 	return b.Build()
 }
@@ -19,7 +19,7 @@ func Path(n int) *Tree {
 // Star returns a star with n nodes: the root plus n-1 leaf children
 // (depth 1, Δ = n-1). n must be ≥ 1.
 func Star(n int) *Tree {
-	b := NewBuilder()
+	b := NewBuilderCap(n)
 	for i := 1; i < n; i++ {
 		b.AddChild(Root)
 	}
@@ -30,7 +30,12 @@ func Star(n int) *Tree {
 // node has exactly branch children, all leaves at the given depth.
 // n = (branch^(depth+1)-1)/(branch-1) for branch ≥ 2.
 func KAry(branch, depth int) *Tree {
-	b := NewBuilder()
+	n, level := 1, 1
+	for d := 0; d < depth; d++ {
+		level *= branch
+		n += level
+	}
+	b := NewBuilderCap(n)
 	frontier := []NodeID{Root}
 	for d := 0; d < depth; d++ {
 		next := make([]NodeID, 0, len(frontier)*branch)
@@ -47,7 +52,7 @@ func KAry(branch, depth int) *Tree {
 // Spider returns a spider: legs paths of length legLen hanging off the root.
 // n = 1 + legs*legLen, D = legLen, Δ = legs (for legs ≥ 2).
 func Spider(legs, legLen int) *Tree {
-	b := NewBuilder()
+	b := NewBuilderCap(1 + legs*legLen)
 	for i := 0; i < legs; i++ {
 		b.AddPath(Root, legLen)
 	}
@@ -58,7 +63,7 @@ func Spider(legs, legLen int) *Tree {
 // (including the root) carries a tooth path of toothLen edges.
 // n = (spineLen+1)*(toothLen+1), D = spineLen + toothLen.
 func Comb(spineLen, toothLen int) *Tree {
-	b := NewBuilder()
+	b := NewBuilderCap((spineLen + 1) * (toothLen + 1))
 	v := Root
 	b.AddPath(v, toothLen)
 	for i := 0; i < spineLen; i++ {
@@ -71,7 +76,7 @@ func Comb(spineLen, toothLen int) *Tree {
 // Caterpillar returns a spine path of spineLen edges where every spine node
 // carries leavesPer leaf children. n = (spineLen+1)*(leavesPer+1) - leavesPer... .
 func Caterpillar(spineLen, leavesPer int) *Tree {
-	b := NewBuilder()
+	b := NewBuilderCap(1 + spineLen + (spineLen+1)*leavesPer)
 	v := Root
 	for j := 0; j < leavesPer; j++ {
 		b.AddChild(v)
@@ -88,7 +93,7 @@ func Caterpillar(spineLen, leavesPer int) *Tree {
 // Broom returns a handle path of handleLen edges ending in bristles leaf
 // children. D = handleLen + 1 (for bristles ≥ 1), n = handleLen + bristles + 1.
 func Broom(handleLen, bristles int) *Tree {
-	b := NewBuilder()
+	b := NewBuilderCap(handleLen + bristles + 1)
 	end := b.AddPath(Root, handleLen)
 	for i := 0; i < bristles; i++ {
 		b.AddChild(end)
@@ -107,7 +112,7 @@ func Random(n, maxDepth int, rng *rand.Rand) *Tree {
 	if maxDepth < 0 {
 		maxDepth = 0
 	}
-	b := NewBuilder()
+	b := NewBuilderCap(n)
 	// Spine realizing the target depth.
 	eligible := make([]NodeID, 0, n)
 	eligible = append(eligible, Root)
@@ -132,7 +137,7 @@ func Random(n, maxDepth int, rng *rand.Rand) *Tree {
 // each new node to a uniformly random node that still has fewer than two
 // children (fewer than three for the root's arity budget of two).
 func RandomBinary(n int, rng *rand.Rand) *Tree {
-	b := NewBuilder()
+	b := NewBuilderCap(n)
 	open := []NodeID{Root, Root} // each entry is one free child slot
 	for b.Len() < n {
 		i := rng.Intn(len(open))
@@ -264,7 +269,7 @@ func Generate(f Family, n, d int, rng *rand.Rand) (*Tree, error) {
 
 // kAryWithNodes builds a breadth-first-filled k-ary tree with exactly n nodes.
 func kAryWithNodes(branch, n int) *Tree {
-	b := NewBuilder()
+	b := NewBuilderCap(n)
 	queue := []NodeID{Root}
 	for b.Len() < n {
 		v := queue[0]

@@ -26,31 +26,56 @@ const Nil NodeID = -1
 // Root is the NodeID of the root of every Tree.
 const Root NodeID = 0
 
-// Tree is an immutable rooted tree. Construct one with a Builder or
-// FromParents; the zero value is not usable.
+// Tree is an immutable rooted tree in CSR (compressed-sparse-row) layout:
+// the children of every node live in one flat childArr slice, delimited by
+// the childOff offsets, so Children(v) is a subslice of a single contiguous
+// array and the whole structure costs O(1) slice headers regardless of n.
+// Construct one with a Builder or FromParents; the zero value is not usable.
 type Tree struct {
-	parent   []NodeID
-	children [][]NodeID
+	parent []NodeID
+	// childArr holds the children of node v (in construction order) at
+	// childArr[childOff[v]:childOff[v+1]]; len(childArr) == n-1.
+	childArr []NodeID
+	childOff []int32 // len n+1, non-decreasing, childOff[0] == 0
+	// childPos[v] is the index of v within its parent's child range (0 for
+	// the root), making PortToward an O(1) lookup.
+	childPos []int32
 	depth    []int32
 	maxDepth int
 	maxDeg   int
 }
 
 // Builder incrementally constructs a Tree. The zero value is a builder whose
-// tree already contains the root.
+// tree already contains the root. The builder stores only the parent and
+// depth arrays; Build compacts the child adjacency into the tree's CSR
+// layout in two counting passes, so construction performs O(1) slice
+// allocations however many nodes are added.
 type Builder struct {
-	parent   []NodeID
-	children [][]NodeID
-	depth    []int32
+	parent []NodeID
+	depth  []int32
 }
 
 // NewBuilder returns a Builder holding a single root node.
 func NewBuilder() *Builder {
 	return &Builder{
-		parent:   []NodeID{Nil},
-		children: [][]NodeID{nil},
-		depth:    []int32{0},
+		parent: []NodeID{Nil},
+		depth:  []int32{0},
 	}
+}
+
+// NewBuilderCap is NewBuilder with capacity for n nodes pre-reserved, so
+// generators that know their target size ahead of time avoid every
+// append-doubling reallocation.
+func NewBuilderCap(n int) *Builder {
+	if n < 1 {
+		n = 1
+	}
+	b := &Builder{
+		parent: make([]NodeID, 1, n),
+		depth:  make([]int32, 1, n),
+	}
+	b.parent[0] = Nil
+	return b
 }
 
 // Len reports the number of nodes added so far (including the root).
@@ -63,9 +88,7 @@ func (b *Builder) Depth(v NodeID) int { return int(b.depth[v]) }
 func (b *Builder) AddChild(parent NodeID) NodeID {
 	id := NodeID(len(b.parent))
 	b.parent = append(b.parent, parent)
-	b.children = append(b.children, nil)
 	b.depth = append(b.depth, b.depth[parent]+1)
-	b.children[parent] = append(b.children[parent], id)
 	return id
 }
 
@@ -81,21 +104,42 @@ func (b *Builder) AddPath(parent NodeID, steps int) NodeID {
 
 // Build freezes the builder into an immutable Tree. The builder must not be
 // used afterwards.
+//
+// The child adjacency is compacted in two passes (count, then fill): since
+// node ids are assigned in AddChild order, filling by ascending child id
+// reproduces each node's children in exactly the order they were added.
 func (b *Builder) Build() *Tree {
-	t := &Tree{parent: b.parent, children: b.children, depth: b.depth}
-	for v := range t.parent {
-		if int(t.depth[v]) > t.maxDepth {
-			t.maxDepth = int(t.depth[v])
-		}
-		deg := len(t.children[v])
+	n := len(b.parent)
+	t := &Tree{parent: b.parent, depth: b.depth}
+	t.childOff = make([]int32, n+1)
+	for _, p := range b.parent[1:] {
+		t.childOff[p+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg := int(t.childOff[v+1])
 		if NodeID(v) != Root {
 			deg++ // edge to parent
 		}
 		if deg > t.maxDeg {
 			t.maxDeg = deg
 		}
+		t.childOff[v+1] += t.childOff[v]
+		if int(t.depth[v]) > t.maxDepth {
+			t.maxDepth = int(t.depth[v])
+		}
 	}
-	b.parent, b.children, b.depth = nil, nil, nil
+	t.childArr = make([]NodeID, n-1)
+	t.childPos = make([]int32, n)
+	cur := make([]int32, n)
+	copy(cur, t.childOff[:n])
+	for v := 1; v < n; v++ {
+		p := b.parent[v]
+		i := cur[p]
+		cur[p]++
+		t.childArr[i] = NodeID(v)
+		t.childPos[v] = i - t.childOff[p]
+	}
+	b.parent, b.depth = nil, nil
 	return t
 }
 
@@ -109,7 +153,7 @@ func FromParents(parents []int32) (*Tree, error) {
 	if parents[0] != int32(Nil) {
 		return nil, fmt.Errorf("tree: parents[0] = %d, want -1", parents[0])
 	}
-	b := NewBuilder()
+	b := NewBuilderCap(len(parents))
 	for v := 1; v < len(parents); v++ {
 		p := parents[v]
 		if p < 0 || int(p) >= v {
@@ -136,19 +180,24 @@ func (t *Tree) MaxDegree() int { return t.maxDeg }
 // Parent returns the parent of v, or Nil for the root.
 func (t *Tree) Parent(v NodeID) NodeID { return t.parent[v] }
 
-// Children returns the children of v in port order. The returned slice is
-// shared with the tree and must not be modified.
-func (t *Tree) Children(v NodeID) []NodeID { return t.children[v] }
+// Children returns the children of v in port order, as a subslice of the
+// tree's contiguous CSR child array. The returned slice is shared with the
+// tree and must not be modified.
+func (t *Tree) Children(v NodeID) []NodeID {
+	return t.childArr[t.childOff[v]:t.childOff[v+1]]
+}
 
 // NumChildren reports the number of children of v.
-func (t *Tree) NumChildren(v NodeID) int { return len(t.children[v]) }
+func (t *Tree) NumChildren(v NodeID) int {
+	return int(t.childOff[v+1] - t.childOff[v])
+}
 
 // DepthOf reports δ(v), the distance from v to the root.
 func (t *Tree) DepthOf(v NodeID) int { return int(t.depth[v]) }
 
 // Degree reports the degree of v (children plus the parent edge, if any).
 func (t *Tree) Degree(v NodeID) int {
-	d := len(t.children[v])
+	d := t.NumChildren(v)
 	if v != Root {
 		d++
 	}
@@ -159,20 +208,19 @@ func (t *Tree) Degree(v NodeID) int {
 // neighbour u. Ports follow the paper's §4.1 convention: at a non-root node
 // port 0 leads to the parent and port i (i ≥ 1) to the i-th child; at the
 // root port i leads to the i-th child. It returns -1 if u is not adjacent
-// to v.
+// to v. The lookup is O(1): a child's port is its position in the parent's
+// contiguous CSR child range, recorded at construction time.
 func (t *Tree) PortToward(v, u NodeID) int {
 	if v != Root && t.parent[v] == u {
 		return 0
 	}
-	for i, c := range t.children[v] {
-		if c == u {
-			if v == Root {
-				return i
-			}
-			return i + 1
-		}
+	if u <= Root || int(u) >= len(t.parent) || t.parent[u] != v {
+		return -1
 	}
-	return -1
+	if v == Root {
+		return int(t.childPos[u])
+	}
+	return int(t.childPos[u]) + 1
 }
 
 // NeighborAtPort returns the neighbour of v reached through port p, or Nil if
@@ -184,10 +232,10 @@ func (t *Tree) NeighborAtPort(v NodeID, p int) NodeID {
 		}
 		p--
 	}
-	if p < 0 || p >= len(t.children[v]) {
+	if p < 0 || p >= t.NumChildren(v) {
 		return Nil
 	}
-	return t.children[v][p]
+	return t.childArr[int(t.childOff[v])+p]
 }
 
 // PathFromRoot returns the node sequence root..v inclusive.
@@ -237,7 +285,7 @@ func (t *Tree) SubtreeSize(v NodeID) int {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		count++
-		stack = append(stack, t.children[u]...)
+		stack = append(stack, t.Children(u)...)
 	}
 	return count
 }
@@ -253,6 +301,10 @@ func (t *Tree) Validate() error {
 	if t.parent[Root] != Nil {
 		return errors.New("tree: root has a parent")
 	}
+	if len(t.childOff) != n+1 || t.childOff[0] != 0 || int(t.childOff[n]) != n-1 || len(t.childArr) != n-1 {
+		return fmt.Errorf("tree: CSR offsets inconsistent (n=%d, len(childOff)=%d, len(childArr)=%d)",
+			n, len(t.childOff), len(t.childArr))
+	}
 	seen := make([]bool, n)
 	for v := 1; v < n; v++ {
 		p := t.parent[v]
@@ -264,12 +316,18 @@ func (t *Tree) Validate() error {
 		}
 	}
 	for v := 0; v < n; v++ {
-		for _, c := range t.children[v] {
-			if t.parent[c] != NodeID(v) {
+		if t.childOff[v] > t.childOff[v+1] {
+			return fmt.Errorf("tree: CSR offsets decrease at node %d", v)
+		}
+		for i, c := range t.Children(NodeID(v)) {
+			if c < 0 || int(c) >= n || t.parent[c] != NodeID(v) {
 				return fmt.Errorf("tree: child list of %d contains %d whose parent is %d", v, c, t.parent[c])
 			}
 			if seen[c] {
 				return fmt.Errorf("tree: node %d appears in two child lists", c)
+			}
+			if int(t.childPos[c]) != i {
+				return fmt.Errorf("tree: node %d has child position %d, want %d", c, t.childPos[c], i)
 			}
 			seen[c] = true
 		}
@@ -306,7 +364,7 @@ func (t *Tree) Stats() Stats {
 	s := Stats{N: t.N(), Depth: t.Depth(), MaxDeg: t.MaxDegree()}
 	var sum int64
 	for v := 0; v < t.N(); v++ {
-		if len(t.children[v]) == 0 {
+		if t.childOff[v] == t.childOff[v+1] {
 			s.Leaves++
 		}
 		sum += int64(t.depth[v])

@@ -1,0 +1,65 @@
+#!/bin/sh
+# bench.sh — run the engine benchmarks and write a machine-readable
+# BENCH_<PR>.json in the repo root.
+#
+# Runs the four headline benchmarks (BFDNExplore, CTEExplore,
+# TreeGeneration, SweepE14) plus the sweep-engine reuse variants with
+# -benchmem, parses `go test -bench` output into JSON (ns/op, B/op,
+# allocs/op, and any extra ReportMetric units such as points/sec and
+# allocs/point), and embeds the pre-PR-5 baseline so before/after is one
+# file. See EXPERIMENTS.md ("Engine cost") for how to read the numbers.
+#
+# Environment knobs:
+#   BENCH_PR    suffix for the output file (default 5 -> BENCH_5.json)
+#   BENCHTIME   passed to -benchtime (default 5x; use 20x for steady-state
+#               allocs/point on the *Sweep benchmarks)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PR="${BENCH_PR:-5}"
+BENCHTIME="${BENCHTIME:-5x}"
+OUT="BENCH_${PR}.json"
+BENCH_RE='^(BenchmarkBFDNExplore|BenchmarkCTEExplore|BenchmarkTreeGeneration|BenchmarkSweepE14|BenchmarkBFDNExploreSweep|BenchmarkCTEExploreSweep)$'
+
+raw=$(go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" .)
+
+{
+    printf '{\n'
+    printf '  "pr": %s,\n' "$PR"
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+    # Pre-PR-5 numbers (same workloads, benchtime 5x) for the before/after
+    # table in EXPERIMENTS.md: maps-and-slices tree/cte layers, int32
+    # reservedRound, no algorithm recycling.
+    cat <<'EOF'
+  "baseline": {
+    "BenchmarkTreeGeneration": {"ns/op": 20046000, "B/op": 18027952, "allocs/op": 65587},
+    "BenchmarkBFDNExplore": {"ns/op": 20404000, "B/op": 2861920, "allocs/op": 1140},
+    "BenchmarkCTEExplore": {"ns/op": 39034000, "B/op": 9415032, "allocs/op": 288676},
+    "BenchmarkSweepE14/workers=1": {"points/sec": 1085, "allocs/point": 6157}
+  },
+EOF
+    printf '  "results": [\n'
+    printf '%s\n' "$raw" | awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", name, $2)
+            msep = ""
+            for (i = 3; i + 1 <= NF; i += 2) {
+                line = line sprintf("%s\"%s\": %s", msep, $(i + 1), $i)
+                msep = ", "
+            }
+            line = line "}}"
+            if (sep != "") print sep
+            printf "%s", line
+            sep = ","
+        }
+        END { print "" }
+    '
+    printf '  ]\n'
+    printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT"

@@ -15,4 +15,17 @@ if [ -n "$missing" ]; then
     echo "$missing" >&2
     exit 1
 fi
-echo "all packages documented"
+
+# Benchmark records ride with the code: every perf PR commits its
+# BENCH_<PR>.json (written by scripts/bench.sh) so regressions are
+# diffable. Fail when none exists at the repo root.
+found=0
+for f in BENCH_*.json; do
+    [ -e "$f" ] && found=1 && break
+done
+if [ "$found" -eq 0 ]; then
+    echo "no BENCH_*.json at the repo root; run scripts/bench.sh" >&2
+    exit 1
+fi
+
+echo "all packages documented, benchmark records present"
