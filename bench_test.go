@@ -16,10 +16,12 @@ import (
 	"bfdn/internal/core"
 	"bfdn/internal/cte"
 	"bfdn/internal/exp"
+	"bfdn/internal/potential"
 	"bfdn/internal/recursive"
 	"bfdn/internal/sim"
 	"bfdn/internal/sweep"
 	"bfdn/internal/tree"
+	"bfdn/internal/treemining"
 	"bfdn/internal/urns"
 	"bfdn/internal/writeread"
 )
@@ -159,6 +161,15 @@ func BenchmarkE14CompetitiveRatio(b *testing.B) {
 	})
 }
 
+// BenchmarkE15FourWay regenerates E15: the four-way BFDN / CTE /
+// Tree-Mining / Potential race on the CTE-hard families.
+func BenchmarkE15FourWay(b *testing.B) {
+	runExperiment(b, func(cfg exp.Config) (int, int, error) {
+		_, out, err := exp.E15FourWay(cfg)
+		return out.Checks, out.Violations, err
+	})
+}
+
 // BenchmarkA1ReanchorPolicy regenerates ablation A1: the Reanchor rule.
 func BenchmarkA1ReanchorPolicy(b *testing.B) {
 	runExperiment(b, func(cfg exp.Config) (int, int, error) {
@@ -266,6 +277,24 @@ func BenchmarkCTEExploreSweep(b *testing.B) {
 		cte.Recycle)
 }
 
+// BenchmarkTreeMiningExploreSweep is the Tree-Mining workload on the
+// engine's reuse path.
+func BenchmarkTreeMiningExploreSweep(b *testing.B) {
+	t := benchTree(b, 50_000, 40)
+	benchSweepExplore(b, t, 64,
+		func(k int, _ *rand.Rand) sim.Algorithm { return treemining.New(k) },
+		treemining.Recycle)
+}
+
+// BenchmarkPotentialExploreSweep is the Potential-Function workload on the
+// engine's reuse path.
+func BenchmarkPotentialExploreSweep(b *testing.B) {
+	t := benchTree(b, 50_000, 40)
+	benchSweepExplore(b, t, 64,
+		func(k int, _ *rand.Rand) sim.Algorithm { return potential.New(k) },
+		potential.Recycle)
+}
+
 // --- engine micro-benchmarks ---------------------------------------------
 
 func benchTree(b *testing.B, n, d int) *tree.Tree {
@@ -309,6 +338,41 @@ func BenchmarkCTEExplore(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := sim.Run(w, cte.New(64), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(t.N()), "nodes")
+}
+
+// BenchmarkTreeMiningExplore is the same workload under Tree-Mining.
+func BenchmarkTreeMiningExplore(b *testing.B) {
+	t := benchTree(b, 50_000, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := sim.NewWorld(t, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(w, treemining.New(64), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(t.N()), "nodes")
+}
+
+// BenchmarkPotentialExplore is the same workload under the Potential
+// Function Method.
+func BenchmarkPotentialExplore(b *testing.B) {
+	t := benchTree(b, 50_000, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := sim.NewWorld(t, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(w, potential.New(64), 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"bfdn/internal/adversary"
@@ -32,10 +33,12 @@ import (
 	"bfdn/internal/graph"
 	"bfdn/internal/levelwise"
 	"bfdn/internal/offline"
+	"bfdn/internal/potential"
 	"bfdn/internal/recursive"
 	"bfdn/internal/sim"
 	"bfdn/internal/sweep"
 	"bfdn/internal/tree"
+	"bfdn/internal/treemining"
 	"bfdn/internal/urns"
 	"bfdn/internal/writeread"
 )
@@ -116,15 +119,35 @@ const (
 	// Levelwise is the phase-synchronized algorithm of the paper's open-
 	// directions discussion ([13]): O(D²) rounds once k ≥ n/D.
 	Levelwise
+	// TreeMining is the proportional-split algorithm of Cosson
+	// (arXiv:2309.07011), the first to break the k/log k competitive
+	// barrier: (n/k + D)·2^{O(√log k)}.
+	TreeMining
+	// Potential is the Potential Function Method of Cosson–Massoulié
+	// (arXiv:2311.01354): an even DFS-order split with a 2n/k + O(D²)
+	// guarantee.
+	Potential
 )
 
 // Algorithms lists every selectable algorithm.
 func Algorithms() []Algorithm {
-	return []Algorithm{BFDN, BFDNRecursive, CTE, DFS, Levelwise}
+	return []Algorithm{BFDN, BFDNRecursive, CTE, DFS, Levelwise, TreeMining, Potential}
+}
+
+// AlgorithmNames lists the canonical names of every selectable algorithm, in
+// Algorithms() order — the single source for user-facing algorithm lists in
+// CLIs, usage text, and API errors.
+func AlgorithmNames() []string {
+	algs := Algorithms()
+	names := make([]string, len(algs))
+	for i, a := range algs {
+		names[i] = a.String()
+	}
+	return names
 }
 
 // String returns the canonical lower-case name used by the CLIs and the
-// bfdnd HTTP API: bfdn, bfdnl, cte, dfs, levelwise.
+// bfdnd HTTP API; AlgorithmNames lists them all.
 func (a Algorithm) String() string {
 	switch a {
 	case BFDN:
@@ -137,6 +160,10 @@ func (a Algorithm) String() string {
 		return "dfs"
 	case Levelwise:
 		return "levelwise"
+	case TreeMining:
+		return "treemining"
+	case Potential:
+		return "potential"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -152,7 +179,8 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("bfdn: unknown algorithm %q", name)
+	return 0, fmt.Errorf("bfdn: unknown algorithm %q (valid: %s)",
+		name, strings.Join(AlgorithmNames(), ", "))
 }
 
 type config struct {
@@ -226,8 +254,9 @@ type Report struct {
 	// Bound is the algorithm's applicable guarantee at these parameters:
 	// Theorem 1 for BFDN, Theorem 10 for BFDN_ℓ, the Appendix A closed form
 	// n/log k + D for CTE, 2(n−1) for DFS, the O(D²) phase bound for
-	// Levelwise, and Proposition 7 under break-down schedules. It is 0 only
-	// when no closed form applies.
+	// Levelwise, the (n/k + D)·2^{O(√log k)} Tree-Mining guarantee, the
+	// 2n/k + O(D²) Potential-Function guarantee, and Proposition 7 under
+	// break-down schedules. It is 0 only when no closed form applies.
 	Bound float64 `json:"bound"`
 	// OfflineLowerBound is max{2n/k, 2D}, what an offline optimum needs.
 	OfflineLowerBound float64 `json:"offlineLowerBound"`
@@ -262,6 +291,10 @@ func newSimAlgorithm(t *Tree, k int, cfg config) (sim.Algorithm, float64, error)
 		return offline.DFS{}, float64(2 * (t.N() - 1)), nil
 	case Levelwise:
 		return levelwise.New(k), levelwise.Bound(t.N(), t.Depth(), k), nil
+	case TreeMining:
+		return treemining.New(k), treemining.Bound(t.N(), t.Depth(), k), nil
+	case Potential:
+		return potential.New(k), potential.Bound(t.N(), t.Depth(), k), nil
 	default:
 		return nil, 0, fmt.Errorf("bfdn: unknown algorithm %d", cfg.alg)
 	}
@@ -679,6 +712,10 @@ func recycleHook(cfg config) func(prev sim.Algorithm, k int, rng *rand.Rand) sim
 		return core.RecycleAlgorithm(coreOpts...)
 	case CTE:
 		return cte.Recycle
+	case TreeMining:
+		return treemining.Recycle
+	case Potential:
+		return potential.Recycle
 	default:
 		return nil
 	}

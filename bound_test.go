@@ -7,6 +7,8 @@ import (
 
 	"bfdn/internal/bounds"
 	"bfdn/internal/levelwise"
+	"bfdn/internal/potential"
+	"bfdn/internal/treemining"
 )
 
 // TestReportBoundAllAlgorithms pins Report.Bound to the closed-form
@@ -30,6 +32,8 @@ func TestReportBoundAllAlgorithms(t *testing.T) {
 		{CTE, nil, bounds.GuaranteeCTE(float64(n), float64(d), k)},
 		{DFS, nil, float64(2 * (n - 1))},
 		{Levelwise, nil, levelwise.Bound(n, d, k)},
+		{TreeMining, nil, treemining.Bound(n, d, k)},
+		{Potential, nil, potential.Bound(n, d, k)},
 	}
 	if len(cases) != len(Algorithms()) {
 		t.Fatalf("test covers %d algorithms, facade exposes %d", len(cases), len(Algorithms()))

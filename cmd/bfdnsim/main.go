@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"bfdn"
 )
@@ -29,7 +30,7 @@ func run() error {
 		n        = flag.Int("n", 10000, "approximate number of nodes")
 		d        = flag.Int("d", 40, "target depth")
 		k        = flag.Int("k", 16, "number of robots")
-		algo     = flag.String("algo", "bfdn", "algorithm: bfdn | bfdnl | cte | dfs | levelwise")
+		algo     = flag.String("algo", "bfdn", "algorithm: "+strings.Join(bfdn.AlgorithmNames(), " | "))
 		ell      = flag.Int("ell", 2, "recursion parameter for bfdnl")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		shortcut = flag.Bool("shortcut", false, "BFDN: re-anchor in place instead of via the root")
@@ -103,19 +104,26 @@ func rep0every(n int) int {
 	return n / 5000
 }
 
-// runCompare runs every algorithm on the same workload.
+// runCompare runs every algorithm from bfdn.Algorithms() on the same
+// workload, so new facade entries appear here without a code change.
 func runCompare(t *bfdn.Tree, k, ell int) error {
 	fmt.Printf("tree %s, k = %d\n\n", t, k)
-	fmt.Printf("%-12s %10s %12s %10s\n", "algorithm", "rounds", "bound", "moves")
-	rows := []struct {
+	fmt.Printf("%-14s %10s %12s %10s\n", "algorithm", "rounds", "bound", "moves")
+	type compareRow struct {
 		name string
 		opts []bfdn.Option
-	}{
-		{"bfdn", []bfdn.Option{bfdn.WithAlgorithm(bfdn.BFDN)}},
-		{fmt.Sprintf("bfdnl(ℓ=%d)", ell), []bfdn.Option{bfdn.WithAlgorithm(bfdn.BFDNRecursive), bfdn.WithEll(ell)}},
-		{"cte", []bfdn.Option{bfdn.WithAlgorithm(bfdn.CTE)}},
-		{"levelwise", []bfdn.Option{bfdn.WithAlgorithm(bfdn.Levelwise)}},
-		{"dfs(k=1)", []bfdn.Option{bfdn.WithAlgorithm(bfdn.DFS)}},
+	}
+	var rows []compareRow
+	for _, a := range bfdn.Algorithms() {
+		row := compareRow{name: a.String(), opts: []bfdn.Option{bfdn.WithAlgorithm(a)}}
+		switch a {
+		case bfdn.BFDNRecursive:
+			row.name = fmt.Sprintf("bfdnl(ℓ=%d)", ell)
+			row.opts = append(row.opts, bfdn.WithEll(ell))
+		case bfdn.DFS:
+			row.name = "dfs(k=1)"
+		}
+		rows = append(rows, row)
 	}
 	for _, row := range rows {
 		rep, err := bfdn.Explore(t, k, row.opts...)
@@ -126,7 +134,7 @@ func runCompare(t *bfdn.Tree, k, ell int) error {
 		if rep.Bound > 0 {
 			bound = fmt.Sprintf("%.0f", rep.Bound)
 		}
-		fmt.Printf("%-12s %10d %12s %10d\n", row.name, rep.Rounds, bound, rep.Moves)
+		fmt.Printf("%-14s %10d %12s %10d\n", row.name, rep.Rounds, bound, rep.Moves)
 	}
 	fmt.Printf("\noffline lower bound: %.0f rounds\n", bfdn.OfflineLowerBound(t.N(), t.Depth(), k))
 	return nil

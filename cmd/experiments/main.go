@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite E1–E14 and the
+// Command experiments runs the full reproduction suite E1–E15 and the
 // ablations A1–A2 (the experiment index of DESIGN.md) and prints one table
 // per experiment, flagging any violated paper prediction. Experiments that
 // fail do not suppress the others: every completed table is printed and all
@@ -197,7 +197,7 @@ func validateDistFlags(fleet string, sweepworkersSet, hedge bool) error {
 // by repeating the grid at growing tree sizes with fresh tree seeds.
 func distGrid(scale int) []bfdn.SweepSpec {
 	families := []bfdn.Family{bfdn.FamilyPath, bfdn.FamilyBinary, bfdn.FamilySpider, bfdn.FamilyComb, bfdn.FamilyRandom}
-	algs := []bfdn.Algorithm{bfdn.BFDN, bfdn.BFDNRecursive, bfdn.CTE, bfdn.DFS}
+	algs := []bfdn.Algorithm{bfdn.BFDN, bfdn.BFDNRecursive, bfdn.CTE, bfdn.DFS, bfdn.TreeMining, bfdn.Potential}
 	ks := []int{1, 2, 4, 8}
 	specs := make([]bfdn.SweepSpec, 0, scale*len(families)*len(ks))
 	for rep := 0; rep < scale; rep++ {

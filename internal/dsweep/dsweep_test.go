@@ -59,7 +59,7 @@ func startWorker(t *testing.T, cfg server.Config, wrap func(w http.ResponseWrite
 // counts, sized so multi-shard runs exercise the merge path.
 func testPlan(points int) dsweep.Plan {
 	families := []string{"path", "binary", "spider", "random", "comb"}
-	algs := []string{"bfdn", "bfdnl", "cte", "dfs", "levelwise"}
+	algs := bfdn.AlgorithmNames()
 	plan := dsweep.Plan{Seed: 0xD15EA5E}
 	for i := 0; i < points; i++ {
 		plan.Points = append(plan.Points, dsweep.PointSpec{

@@ -14,8 +14,8 @@ func TestRunAllNoViolations(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
-	if len(reports) != 16 {
-		t.Fatalf("got %d reports, want 16", len(reports))
+	if len(reports) != 17 {
+		t.Fatalf("got %d reports, want 17", len(reports))
 	}
 	for _, r := range reports {
 		if r.Outcome.Checks == 0 {
@@ -113,6 +113,7 @@ func TestSweepExperimentsWorkerInvariant(t *testing.T) {
 	}{
 		{"E1", E1Theorem1},
 		{"E14", E14CompetitiveRatio},
+		{"E15", E15FourWay},
 		{"A1", A1ReanchorPolicy},
 	} {
 		cfg := DefaultConfig()
@@ -150,6 +151,22 @@ func TestStatsSinkReceivesSweepStats(t *testing.T) {
 	}
 	if points != 33 { // 11 workload trees × k ∈ {2, 8, 32}
 		t.Errorf("E1 sweep ran %d points, want 33", points)
+	}
+}
+
+// TestE15FourWayNoViolations is the four-way comparison smoke: every
+// algorithm finishes inside its closed-form envelope and the successors
+// beat CTE on its lower-bound family. CI runs it by name.
+func TestE15FourWayNoViolations(t *testing.T) {
+	tb, out, err := E15FourWay(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violations != 0 {
+		t.Errorf("%d/%d predictions violated: %v", out.Violations, out.Checks, out.Notes)
+	}
+	if len(tb.Rows) != 7 {
+		t.Errorf("got %d rows, want 7", len(tb.Rows))
 	}
 }
 

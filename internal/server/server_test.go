@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"bfdn"
 )
 
 func postJSON(t *testing.T, client *http.Client, url string, body string) (*http.Response, []byte) {
@@ -34,7 +36,7 @@ func TestExploreEndpoint(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	for _, alg := range []string{"bfdn", "bfdnl", "cte", "dfs", "levelwise"} {
+	for _, alg := range bfdn.AlgorithmNames() {
 		body := fmt.Sprintf(`{"family":"random","n":500,"depth":12,"treeSeed":7,"k":6,"algorithm":%q}`, alg)
 		resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/explore", body)
 		if resp.StatusCode != http.StatusOK {
@@ -143,7 +145,7 @@ func TestServerUnderLoad(t *testing.T) {
 	defer ts.Close()
 
 	// Phase 1: 64 concurrent explores plus one streamed sweep.
-	algs := []string{"bfdn", "bfdnl", "cte", "dfs", "levelwise"}
+	algs := bfdn.AlgorithmNames()
 	var wg sync.WaitGroup
 	errs := make(chan error, 65)
 	for i := 0; i < 64; i++ {

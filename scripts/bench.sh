@@ -10,17 +10,34 @@
 # file. See EXPERIMENTS.md ("Engine cost") for how to read the numbers.
 #
 # Environment knobs:
-#   BENCH_PR    suffix for the output file (default 5 -> BENCH_5.json)
+#   BENCH_PR    suffix for the output file (default: highest existing
+#               BENCH_*.json + 1, so a fresh run never overwrites a
+#               committed snapshot)
 #   BENCHTIME   passed to -benchtime (default 5x; use 20x for steady-state
 #               allocs/point on the *Sweep benchmarks)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-PR="${BENCH_PR:-5}"
+# Default the suffix to one past the highest committed snapshot.
+next_pr() {
+    highest=0
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || continue
+        num="${f#BENCH_}"
+        num="${num%.json}"
+        case "$num" in
+            *[!0-9]*) continue ;;
+        esac
+        [ "$num" -gt "$highest" ] && highest=$num
+    done
+    echo $((highest + 1))
+}
+
+PR="${BENCH_PR:-$(next_pr)}"
 BENCHTIME="${BENCHTIME:-5x}"
 OUT="BENCH_${PR}.json"
-BENCH_RE='^(BenchmarkBFDNExplore|BenchmarkCTEExplore|BenchmarkTreeGeneration|BenchmarkSweepE14|BenchmarkBFDNExploreSweep|BenchmarkCTEExploreSweep)$'
+BENCH_RE='^(BenchmarkBFDNExplore|BenchmarkCTEExplore|BenchmarkTreeMiningExplore|BenchmarkPotentialExplore|BenchmarkTreeGeneration|BenchmarkSweepE14|BenchmarkBFDNExploreSweep|BenchmarkCTEExploreSweep|BenchmarkTreeMiningExploreSweep|BenchmarkPotentialExploreSweep)$'
 
 raw=$(go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" .)
 
