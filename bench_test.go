@@ -170,6 +170,16 @@ func BenchmarkE15FourWay(b *testing.B) {
 	})
 }
 
+// BenchmarkE16AsyncGuarantee regenerates E16: the asynchronous guarantee
+// and continuous-time lower bound on the CTE-hard families, raced against
+// synchronous BFDN.
+func BenchmarkE16AsyncGuarantee(b *testing.B) {
+	runExperiment(b, func(cfg exp.Config) (int, int, error) {
+		_, out, err := exp.E16AsyncGuarantee(cfg)
+		return out.Checks, out.Violations, err
+	})
+}
+
 // BenchmarkA1ReanchorPolicy regenerates ablation A1: the Reanchor rule.
 func BenchmarkA1ReanchorPolicy(b *testing.B) {
 	runExperiment(b, func(cfg exp.Config) (int, int, error) {

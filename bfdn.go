@@ -26,7 +26,6 @@ import (
 	"time"
 
 	"bfdn/internal/adversary"
-	"bfdn/internal/async"
 	"bfdn/internal/bounds"
 	"bfdn/internal/core"
 	"bfdn/internal/cte"
@@ -474,39 +473,6 @@ func ExploreGrid(g *Grid, k int) (*GridReport, error) {
 		ClosedEdges: res.ClosedEdges,
 		Bound:       bounds.Proposition9(g.g.G.M(), g.g.G.Eccentricity(), k, g.g.G.MaxDegree()),
 		Complete:    res.AllEdgesVisited && res.AllAtOrigin,
-	}, nil
-}
-
-// AsyncReport summarizes a continuous-time exploration run (Remark 8).
-type AsyncReport struct {
-	// Makespan is the instant the last robot returns to the root.
-	Makespan float64 `json:"makespan"`
-	// WorkDist[i] counts the edges robot i traversed.
-	WorkDist []float64 `json:"workDist"`
-	// Floor is the continuous-time offline bound max{2(n−1)/Σsᵢ, 2D/max sᵢ}.
-	Floor         float64 `json:"floor"`
-	FullyExplored bool    `json:"fullyExplored"`
-	AllAtRoot     bool    `json:"allAtRoot"`
-}
-
-// ExploreAsync runs the continuous-time relaxation of the model suggested
-// by Remark 8: robots with heterogeneous speeds (speeds[i] edges per time
-// unit), event-driven decisions, persistent dangling-edge claims.
-func ExploreAsync(t *Tree, speeds []float64) (*AsyncReport, error) {
-	e, err := async.NewEngine(t.t, speeds)
-	if err != nil {
-		return nil, err
-	}
-	res, err := e.Run(0)
-	if err != nil {
-		return nil, err
-	}
-	return &AsyncReport{
-		Makespan:      res.Makespan,
-		WorkDist:      res.WorkDist,
-		Floor:         async.LowerBound(t.N(), t.Depth(), speeds),
-		FullyExplored: res.FullyExplored,
-		AllAtRoot:     res.AllAtRoot,
 	}, nil
 }
 

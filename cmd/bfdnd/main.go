@@ -14,6 +14,8 @@
 //
 //	POST /v1/explore   one exploration run, JSON report
 //	POST /v1/sweep     a (algorithm × tree × k) grid, streamed as JSONL
+//	POST /v1/asyncsweep  a continuous-time (tree × fleet × algorithm ×
+//	                   latency) grid on the async engine, streamed as JSONL
 //	GET  /healthz      liveness + load snapshot (503 while draining)
 //	GET  /capacity     admission limits + load, for distributed coordinators
 //	GET  /metrics      Prometheus text exposition (bfdnd_*)

@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite E1–E15 and the
+// Command experiments runs the full reproduction suite E1–E16 and the
 // ablations A1–A2 (the experiment index of DESIGN.md) and prints one table
 // per experiment, flagging any violated paper prediction. Experiments that
 // fail do not suppress the others: every completed table is printed and all

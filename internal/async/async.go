@@ -2,58 +2,70 @@
 // Remark 8 of the paper puts forward ("another extension of interest would
 // consist in relaxing the slotted time assumption to consider instead
 // continuous time evolution, which could capture more realistic
-// scenarios"): robots have heterogeneous speeds, edge traversals take
-// 1/speed time units, and decisions happen at arrival instants rather than
-// in synchronized rounds.
+// scenarios"): robots have heterogeneous speeds, edge traversals take time
+// drawn from a pluggable latency model around the nominal 1/speed, and
+// decisions happen at arrival instants rather than in synchronized rounds.
 //
-// The algorithm is the natural asynchronous BFDN: a robot arriving at the
-// root is anchored at the open node of minimal depth with the least load
-// and walks there; at and below its anchor it performs depth-next moves,
-// where "unselected" becomes a persistent claim — a dangling edge is
-// claimed at decision time, so no two robots ever chase the same edge.
-// Idle robots parked at the root are woken the instant new open work
-// appears.
+// The package is the repo's second first-class engine, split the same way
+// as the synchronous one: Engine owns the mechanics — the event heap, the
+// clock, robot positions, persistent dangling-edge claims, discovery, and
+// move validation — while an Algorithm owns strategy, deciding one robot's
+// move at each arrival instant through a read-only View. Two strategies
+// ship: asynchronous BFDN (anchor at the least-loaded open node of minimal
+// depth, depth-next below it) and the Potential Function Method's DFS-slot
+// rule ported to arrival instants. Latency models (constant, bounded
+// jitter, heavy-tail Pareto) draw from a single seeded stream in event
+// order, so a run is a pure function of (tree, speeds, algorithm, latency,
+// seed) — the determinism the sweep layer's splitmix64 scheme relies on.
+// Engines and algorithms Reset for reuse across sweep points without
+// reallocation, matching the synchronous engine's recycling contract.
 package async
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"bfdn/internal/tree"
 )
 
-// Engine is the event-driven simulator running asynchronous BFDN.
+// ErrAlreadyRun is returned by Run on an engine whose run already happened;
+// call Reset to prepare another one. (A silent second run used to re-push
+// every robot at t=0 over the finished state and return garbage.)
+var ErrAlreadyRun = errors.New("async: engine already ran; Reset it before running again")
+
+// Engine is the event-driven continuous-time simulator. It owns time,
+// positions, and claims; the strategy is the pluggable Algorithm.
 type Engine struct {
 	t      *tree.Tree
 	speeds []float64
+	alg    Algorithm
+	lat    Latency
+	seed   int64
+	rng    *rand.Rand
 
 	explored []bool
 	// claimed[v] counts dangling edges of v already claimed; claims are
 	// handed out in port order, so Children(v)[claimed[v]] is next.
 	claimed []int32
-	opens   *openIndex
 
-	pos      []tree.NodeID
-	robots   []aRobot
-	idle     []int // robots parked at the root awaiting work
-	workWoke bool  // new open work appeared during the current event
+	pos []tree.NodeID
+	// pendingChild[i] is the hidden endpoint of a claimed dangling edge
+	// robot i is currently crossing (Nil otherwise).
+	pendingChild []tree.NodeID
+	idle         []int // robots parked at the root awaiting work
+	workWoke     bool  // new open work appeared during the current event
 
 	events   eventHeap
 	seq      int64
 	now      float64
 	explCnt  int
 	workDist []float64
-}
-
-type aRobot struct {
-	anchor      tree.NodeID
-	anchorDepth int
-	stack       []tree.NodeID
-	// pendingChild is the hidden endpoint of a claimed dangling edge the
-	// robot is currently crossing (Nil otherwise).
-	pendingChild tree.NodeID
+	ran      bool
 }
 
 type event struct {
@@ -81,74 +93,161 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
-// NewEngine creates an asynchronous exploration of t; speeds[i] > 0 is the
-// edge-traversal rate of robot i.
-func NewEngine(t *tree.Tree, speeds []float64) (*Engine, error) {
-	if len(speeds) == 0 {
-		return nil, fmt.Errorf("async: need at least one robot")
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithAlgorithm selects the decision strategy (default: NewBFDN()).
+func WithAlgorithm(alg Algorithm) Option { return func(e *Engine) { e.alg = alg } }
+
+// WithLatency selects the traversal-time model (default: Constant{}).
+func WithLatency(lat Latency) Option { return func(e *Engine) { e.lat = lat } }
+
+// WithSeed seeds the latency stream (default: 1). Runs under Constant
+// ignore it.
+func WithSeed(seed int64) Option { return func(e *Engine) { e.seed = seed } }
+
+// NewEngine creates a continuous-time exploration of t; speeds[i] > 0 is
+// the edge-traversal rate of robot i. Defaults reproduce the original
+// fixed-policy engine: asynchronous BFDN under constant latency.
+func NewEngine(t *tree.Tree, speeds []float64, opts ...Option) (*Engine, error) {
+	e := &Engine{alg: NewBFDN(), lat: Constant{}, seed: 1}
+	for _, o := range opts {
+		o(e)
 	}
-	for i, s := range speeds {
-		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
-			return nil, fmt.Errorf("async: robot %d has invalid speed %v", i, s)
-		}
-	}
-	e := &Engine{
-		t:        t,
-		speeds:   append([]float64(nil), speeds...),
-		explored: make([]bool, t.N()),
-		claimed:  make([]int32, t.N()),
-		opens:    newOpenIndex(),
-		pos:      make([]tree.NodeID, len(speeds)),
-		robots:   make([]aRobot, len(speeds)),
-		explCnt:  1,
-		workDist: make([]float64, len(speeds)),
-	}
-	e.explored[tree.Root] = true
-	for i := range e.robots {
-		e.robots[i].pendingChild = tree.Nil
-		e.robots[i].anchor = tree.Root
-		e.opens.changeLoad(tree.Root, 0, 1)
-	}
-	if t.NumChildren(tree.Root) > 0 {
-		e.opens.add(tree.Root, 0)
+	if err := e.Reset(t, speeds, e.seed); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
 
-// Result summarizes an asynchronous run.
+// Rebind swaps the strategy and latency model; nil leaves a component
+// unchanged. It takes effect at the next Reset, which must happen before
+// the next run — sweep workers use it to move one engine across grid
+// points with different algorithms.
+func (e *Engine) Rebind(alg Algorithm, lat Latency) {
+	if alg != nil {
+		e.alg = alg
+	}
+	if lat != nil {
+		e.lat = lat
+	}
+	e.ran = true // force a Reset before the next Run
+}
+
+// Reset prepares the engine for a fresh run on t with the given fleet and
+// latency seed, keeping every allocation it can. A run on a Reset engine is
+// byte-identical to a run on a freshly constructed one with the same
+// configuration.
+func (e *Engine) Reset(t *tree.Tree, speeds []float64, seed int64) error {
+	if len(speeds) == 0 {
+		return fmt.Errorf("async: need at least one robot")
+	}
+	for i, s := range speeds {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("async: robot %d has invalid speed %v", i, s)
+		}
+	}
+	e.t = t
+	e.speeds = append(e.speeds[:0], speeds...)
+	e.seed = seed
+	e.rng = rand.New(rand.NewSource(seed))
+
+	e.explored = resizeBool(e.explored, t.N())
+	e.claimed = resizeInt32(e.claimed, t.N())
+	k := len(speeds)
+	e.pos = append(e.pos[:0], make([]tree.NodeID, k)...)
+	e.pendingChild = e.pendingChild[:0]
+	e.workDist = append(e.workDist[:0], make([]float64, k)...)
+	for i := 0; i < k; i++ {
+		e.pendingChild = append(e.pendingChild, tree.Nil)
+	}
+	e.idle = e.idle[:0]
+	e.workWoke = false
+	e.events = e.events[:0]
+	e.seq, e.now, e.explCnt = 0, 0, 1
+	e.ran = false
+
+	e.explored[tree.Root] = true
+	e.alg.Reset(k)
+	e.alg.OnExplored(View{e}, tree.Nil, tree.Root, t.NumChildren(tree.Root) > 0)
+	return nil
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Result summarizes a continuous-time run.
 type Result struct {
 	// Makespan is the instant the last robot finishes its final move.
 	Makespan float64
 	// WorkDist[i] counts edges traversed by robot i.
 	WorkDist []float64
+	// Events is the number of scheduler events processed.
+	Events int64
 	// FullyExplored and AllAtRoot describe the terminal state.
 	FullyExplored bool
 	AllAtRoot     bool
 }
 
-// Run executes the event loop to completion. maxEvents ≤ 0 selects a
-// generous cap far above any legal run.
+// Run executes the event loop to completion; see RunContext.
 func (e *Engine) Run(maxEvents int64) (Result, error) {
-	if maxEvents <= 0 {
-		maxEvents = 64*int64(e.t.N())*int64(e.t.Depth()+2) + 64
+	return e.RunContext(context.Background(), maxEvents)
+}
+
+// RunContext executes the event loop to completion, checking ctx
+// periodically (every 128 events) so long runs cancel promptly. maxEvents
+// ≤ 0 selects a generous cap far above any legal run. An engine runs once;
+// a second call without an intervening Reset returns ErrAlreadyRun.
+func (e *Engine) RunContext(ctx context.Context, maxEvents int64) (Result, error) {
+	if e.ran {
+		return Result{}, ErrAlreadyRun
 	}
-	for i := range e.robots {
+	e.ran = true
+	if maxEvents <= 0 {
+		maxEvents = 64*int64(len(e.speeds)+1)*int64(e.t.N())*int64(e.t.Depth()+2) + 64
+	}
+	for i := range e.pos {
 		e.push(0, i)
 	}
-	for n := int64(0); len(e.events) > 0; n++ {
+	n := int64(0)
+	for ; len(e.events) > 0; n++ {
 		if n >= maxEvents {
 			return Result{}, fmt.Errorf("async: event budget exhausted (%d)", maxEvents)
+		}
+		if n&127 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("async: run canceled after %d events: %w", n, err)
+			}
 		}
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.at
 		i := ev.robot
 		e.arrive(i)
-		if next, travels := e.decide(i); travels {
-			e.pos[i] = next
-			e.workDist[i]++
-			e.push(e.now+1/e.speeds[i], i)
-		} else {
-			e.idle = append(e.idle, i)
+		mv, err := e.alg.Decide(View{e}, i)
+		if err != nil {
+			return Result{}, fmt.Errorf("async: %s: %w", e.alg, err)
+		}
+		if err := e.apply(i, mv); err != nil {
+			return Result{}, err
 		}
 		// New open work discovered during this event wakes parked robots at
 		// the same instant; seq ordering keeps the run deterministic.
@@ -165,6 +264,7 @@ func (e *Engine) Run(maxEvents int64) (Result, error) {
 	res := Result{
 		Makespan:      e.now,
 		WorkDist:      append([]float64(nil), e.workDist...),
+		Events:        n,
 		FullyExplored: e.explCnt == e.t.N(),
 		AllAtRoot:     true,
 	}
@@ -182,70 +282,71 @@ func (e *Engine) push(at float64, robot int) {
 }
 
 // arrive finalizes a pending dangling-edge crossing: the hidden child
-// becomes explored and, if it has children of its own, open.
+// becomes explored, the algorithm is told, and parked robots will be woken
+// if the child opens new work.
 func (e *Engine) arrive(i int) {
-	r := &e.robots[i]
-	if r.pendingChild == tree.Nil {
+	c := e.pendingChild[i]
+	if c == tree.Nil {
 		return
 	}
-	c := r.pendingChild
-	r.pendingChild = tree.Nil
+	e.pendingChild[i] = tree.Nil
 	e.explored[c] = true
 	e.explCnt++
-	if e.t.NumChildren(c) > 0 {
-		e.opens.add(c, e.t.DepthOf(c))
+	open := e.t.NumChildren(c) > 0
+	if open {
 		e.workWoke = true
 	}
+	e.alg.OnExplored(View{e}, e.t.Parent(c), c, open)
 }
 
-// decide picks the robot's next edge; travels=false parks it at the root.
-func (e *Engine) decide(i int) (tree.NodeID, bool) {
-	r := &e.robots[i]
+// apply validates and executes one decision: parking is only legal at the
+// root, claims require a dangling edge, and MoveTo must cross a single
+// known edge (to the parent or an explored child). Violations are strategy
+// bugs and abort the run with an actionable error.
+func (e *Engine) apply(i int, mv Move) error {
 	pos := e.pos[i]
-	if pos == tree.Root && len(r.stack) == 0 {
-		e.reanchor(i)
-	}
-	if len(r.stack) > 0 {
-		next := r.stack[len(r.stack)-1]
-		r.stack = r.stack[:len(r.stack)-1]
-		return next, true
-	}
-	// Depth-next with a persistent claim.
-	if int(e.claimed[pos]) < e.t.NumChildren(pos) {
+	switch mv.Kind {
+	case Park:
+		if pos != tree.Root {
+			return fmt.Errorf("async: %s: robot %d parked at node %d (parking is only legal at the root)", e.alg, i, pos)
+		}
+		e.idle = append(e.idle, i)
+		return nil
+	case Claim:
+		if int(e.claimed[pos]) >= e.t.NumChildren(pos) {
+			return fmt.Errorf("async: %s: robot %d claimed at node %d with no dangling edge left", e.alg, i, pos)
+		}
 		child := e.t.Children(pos)[e.claimed[pos]]
 		e.claimed[pos]++
-		if int(e.claimed[pos]) == e.t.NumChildren(pos) {
-			e.opens.remove(pos, e.t.DepthOf(pos))
+		e.pendingChild[i] = child
+		e.travel(i, child)
+		return nil
+	case MoveTo:
+		to := mv.To
+		down := to >= 0 && int(to) < e.t.N() && e.t.Parent(to) == pos && e.explored[to]
+		up := pos != tree.Root && to == e.t.Parent(pos)
+		if !down && !up {
+			return fmt.Errorf("async: %s: robot %d at node %d moved to %d, not the parent or an explored child", e.alg, i, pos, to)
 		}
-		r.pendingChild = child
-		return child, true
+		e.travel(i, to)
+		return nil
 	}
-	if pos != tree.Root {
-		return e.t.Parent(pos), true
-	}
-	return tree.Root, false
+	return fmt.Errorf("async: %s: robot %d returned unknown move kind %d", e.alg, i, mv.Kind)
 }
 
-// reanchor assigns the least-loaded open node of minimal depth (the BFDN
-// Reanchor rule), or parks the robot at the root when nothing is open.
-func (e *Engine) reanchor(i int) {
-	r := &e.robots[i]
-	e.opens.changeLoad(r.anchor, r.anchorDepth, -1)
-	anchor, depth := tree.Root, 0
-	if a, d, ok := e.opens.minLoadAtMinDepth(); ok {
-		anchor, depth = a, d
-	}
-	r.anchor, r.anchorDepth = anchor, depth
-	e.opens.changeLoad(anchor, depth, 1)
-	r.stack = r.stack[:0]
-	for u := anchor; u != tree.Root; u = e.t.Parent(u) {
-		r.stack = append(r.stack, u)
-	}
+// travel starts robot i's traversal to to, sampling its duration from the
+// latency model.
+func (e *Engine) travel(i int, to tree.NodeID) {
+	e.pos[i] = to
+	e.workDist[i]++
+	e.push(e.now+e.lat.Sample(e.speeds[i], e.rng), i)
 }
 
 // LowerBound is the offline floor in continuous time: every edge crossed
 // twice by the fleet working at aggregate speed Σsᵢ, and some robot must
-// reach depth D and return at its own speed.
+// reach depth D and return at its own speed. Latency models only delay
+// traversals beyond the nominal 1/speed, so the floor holds under every
+// Latency.
 func LowerBound(n, depth int, speeds []float64) float64 {
 	var total, fastest float64
 	for _, s := range speeds {

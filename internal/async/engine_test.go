@@ -1,0 +1,381 @@
+package async
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bfdn/internal/tree"
+)
+
+// TestRunReentryIsAnError locks in the satellite fix: a second Run on the
+// same engine used to re-push every robot at t=0 over the finished state
+// and silently return garbage; it is now ErrAlreadyRun.
+func TestRunReentryIsAnError(t *testing.T) {
+	tr := tree.KAry(2, 5)
+	e, err := NewEngine(tr, uniformSpeeds(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0); !errors.Is(err, ErrAlreadyRun) {
+		t.Fatalf("second Run: got %v, want ErrAlreadyRun", err)
+	}
+}
+
+// TestResetSupportsReruns is the other half of the re-entry fix: Reset makes
+// reruns legal and byte-identical to a fresh engine's run.
+func TestResetSupportsReruns(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	trees := []*tree.Tree{tree.Path(30), tree.Spider(5, 7), tree.Random(300, 11, rng)}
+	speeds := []float64{1, 2, 3}
+	for _, lat := range []Latency{Constant{}, Jitter{Frac: 0.5}, HeavyTail{Alpha: 2}} {
+		e, err := NewEngine(trees[0], speeds, WithLatency(lat), WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range trees {
+			if err := e.Reset(tr, speeds, 9); err != nil {
+				t.Fatal(err)
+			}
+			reused, err := e.Run(0)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", lat, tr, err)
+			}
+			fresh, err := NewEngine(tr, speeds, WithLatency(lat), WithSeed(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(reused, want) {
+				t.Errorf("%s on %s: Reset run %+v differs from fresh run %+v", lat, tr, reused, want)
+			}
+		}
+	}
+}
+
+// TestResetValidation: Reset re-validates the fleet like NewEngine does.
+func TestResetValidation(t *testing.T) {
+	e, err := NewEngine(tree.Path(3), uniformSpeeds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(tree.Path(3), nil, 1); err == nil {
+		t.Error("Reset accepted an empty fleet")
+	}
+	if err := e.Reset(tree.Path(3), []float64{math.NaN()}, 1); err == nil {
+		t.Error("Reset accepted a NaN speed")
+	}
+}
+
+// TestRunContextPreCanceled: a canceled context aborts before any event.
+func TestRunContextPreCanceled(t *testing.T) {
+	e, err := NewEngine(tree.KAry(2, 8), uniformSpeeds(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// cancelAfter is a latency model that cancels a context after n samples —
+// a deterministic way to cancel mid-run without sleeps or goroutines.
+type cancelAfter struct {
+	n      *int
+	after  int
+	cancel context.CancelFunc
+}
+
+func (c cancelAfter) Sample(speed float64, _ *rand.Rand) float64 {
+	*c.n++
+	if *c.n == c.after {
+		c.cancel()
+	}
+	return 1 / speed
+}
+func (cancelAfter) MaxFactor() float64 { return 1 }
+func (cancelAfter) String() string     { return "cancelAfter" }
+
+// TestRunContextCancelMidRun locks in the satellite fix: the event loop
+// checks ctx periodically, so cancellation lands mid-run instead of the
+// engine running to completion.
+func TestRunContextCancelMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := tree.Random(2000, 14, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	samples := 0
+	e, err := NewEngine(tr, uniformSpeeds(4), WithLatency(cancelAfter{n: &samples, after: 500, cancel: cancel}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The ctx check runs every 128 events, so the loop must stop well short
+	// of a full exploration (≥ 2(n−1) ≈ 4000 samples).
+	if samples > 500+129 {
+		t.Errorf("engine kept sampling after cancel: %d samples", samples)
+	}
+	// A canceled engine Resets back into service.
+	if err := e.Reset(tr, uniformSpeeds(4), 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Rebind(nil, Constant{})
+	if err := e.Reset(tr, uniformSpeeds(4), 1); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := e.Run(0); err != nil || !res.FullyExplored {
+		t.Fatalf("run after canceled run: %+v, %v", res, err)
+	}
+}
+
+// TestRebindForcesReset: Rebind without a Reset must not silently run the
+// old state with a new strategy.
+func TestRebindForcesReset(t *testing.T) {
+	tr := tree.Comb(6, 3)
+	e, err := NewEngine(tr, uniformSpeeds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Rebind(NewPotential(), nil)
+	if _, err := e.Run(0); !errors.Is(err, ErrAlreadyRun) {
+		t.Fatalf("Run after Rebind without Reset: got %v, want ErrAlreadyRun", err)
+	}
+	if err := e.Reset(tr, uniformSpeeds(2), 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil || !res.FullyExplored || !res.AllAtRoot {
+		t.Fatalf("potential run after Rebind+Reset: %+v, %v", res, err)
+	}
+}
+
+// badAlgorithm returns a fixed move for robot 0's first decision; used to
+// exercise the engine's move validation.
+type badAlgorithm struct {
+	mv Move
+}
+
+func (b *badAlgorithm) Reset(int)                                       {}
+func (b *badAlgorithm) OnExplored(View, tree.NodeID, tree.NodeID, bool) {}
+func (b *badAlgorithm) Decide(View, int) (Move, error)                  { return b.mv, nil }
+func (b *badAlgorithm) String() string                                  { return "bad" }
+
+func TestEngineRejectsIllegalMoves(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *tree.Tree
+		mv   Move
+	}{
+		// Path(1) has no dangling edge at the root.
+		{"claim without dangling", tree.Path(1), Move{Kind: Claim}},
+		// Node 2 is not adjacent to the root of a 3-path (0-1-2).
+		{"move to non-neighbor", tree.Path(3), Move{Kind: MoveTo, To: 2}},
+		// Child 1 exists but is unexplored at the first decision.
+		{"move to unexplored child", tree.Path(3), Move{Kind: MoveTo, To: 1}},
+		{"move to out of range", tree.Path(3), Move{Kind: MoveTo, To: 99}},
+		{"move to self", tree.Path(3), Move{Kind: MoveTo, To: 0}},
+		{"unknown kind", tree.Path(3), Move{Kind: MoveKind(42)}},
+	}
+	for _, c := range cases {
+		e, err := NewEngine(c.tr, uniformSpeeds(1), WithAlgorithm(&badAlgorithm{mv: c.mv}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(0); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Parking off the root: park the robot one step down. A two-decision
+	// script: first MoveTo explored child is impossible on the first turn, so
+	// use Claim then Park.
+	script := &scriptAlgorithm{moves: []Move{{Kind: Claim}, {Kind: Park}}}
+	e, err := NewEngine(tree.Path(3), uniformSpeeds(1), WithAlgorithm(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0); err == nil {
+		t.Error("park off the root: accepted")
+	}
+}
+
+// scriptAlgorithm plays a fixed move list, one per decision.
+type scriptAlgorithm struct {
+	moves []Move
+	next  int
+}
+
+func (s *scriptAlgorithm) Reset(int)                                       {}
+func (s *scriptAlgorithm) OnExplored(View, tree.NodeID, tree.NodeID, bool) {}
+func (s *scriptAlgorithm) Decide(View, int) (Move, error) {
+	mv := s.moves[s.next%len(s.moves)]
+	s.next++
+	return mv, nil
+}
+func (s *scriptAlgorithm) String() string { return "script" }
+
+// recordingLatency wraps a Latency and logs every sampled duration — a
+// faithful trace of the event sequence (samples happen in event order).
+type recordingLatency struct {
+	inner Latency
+	trace *[]float64
+}
+
+func (r recordingLatency) Sample(speed float64, rng *rand.Rand) float64 {
+	d := r.inner.Sample(speed, rng)
+	*r.trace = append(*r.trace, d)
+	return d
+}
+func (r recordingLatency) MaxFactor() float64 { return r.inner.MaxFactor() }
+func (r recordingLatency) String() string     { return r.inner.String() }
+
+// TestDeterminismEventSequence: same (tree, fleet, algorithm, latency,
+// seed) ⇒ identical event sequence, makespan, and work distribution — for
+// both algorithms under every latency model, fresh and through Reset.
+func TestDeterminismEventSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := tree.Random(800, 13, rng)
+	speeds := []float64{1, 1, 2, 4}
+	lats := []Latency{Constant{}, Jitter{Frac: 0.7}, HeavyTail{Alpha: 1.8}}
+	for _, name := range AlgorithmNames() {
+		for _, lat := range lats {
+			run := func(reuse *Engine) (Result, []float64) {
+				var trace []float64
+				rec := recordingLatency{inner: lat, trace: &trace}
+				var e *Engine
+				var err error
+				if reuse == nil {
+					alg, aerr := NewNamedAlgorithm(name)
+					if aerr != nil {
+						t.Fatal(aerr)
+					}
+					e, err = NewEngine(tr, speeds, WithAlgorithm(alg), WithLatency(rec), WithSeed(77))
+				} else {
+					e = reuse
+					e.Rebind(nil, rec)
+					err = e.Reset(tr, speeds, 77)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := e.Run(0)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, lat, err)
+				}
+				return res, trace
+			}
+			resA, traceA := run(nil)
+			resB, traceB := run(nil)
+			if !reflect.DeepEqual(resA, resB) || !reflect.DeepEqual(traceA, traceB) {
+				t.Fatalf("%s/%s: two fresh runs differ", name, lat)
+			}
+			// Through Reset reuse on an engine that just ran something else.
+			alg, err := NewNamedAlgorithm(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewEngine(tree.Spider(4, 6), []float64{1, 3}, WithAlgorithm(alg), WithLatency(lat), WithSeed(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			resC, traceC := run(e)
+			if !reflect.DeepEqual(resA, resC) || !reflect.DeepEqual(traceA, traceC) {
+				t.Fatalf("%s/%s: Reset-reuse run differs from fresh run", name, lat)
+			}
+			if !resA.FullyExplored || !resA.AllAtRoot {
+				t.Fatalf("%s/%s: bad terminal state %+v", name, lat, resA)
+			}
+		}
+	}
+}
+
+// TestSeedChangesRandomRuns: under a random latency model the seed matters
+// (different stream ⇒ different makespan on a non-trivial tree), while
+// Constant ignores it.
+func TestSeedChangesRandomRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := tree.Random(500, 12, rng)
+	speeds := uniformSpeeds(4)
+	run := func(lat Latency, seed int64) Result {
+		e, err := NewEngine(tr, speeds, WithLatency(lat), WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(Jitter{Frac: 1}, 1), run(Jitter{Frac: 1}, 2); a.Makespan == b.Makespan {
+		t.Errorf("jitter runs with different seeds have identical makespan %v", a.Makespan)
+	}
+	if a, b := run(Constant{}, 1), run(Constant{}, 2); !reflect.DeepEqual(a, b) {
+		t.Errorf("constant-latency runs depend on the seed: %+v vs %+v", a, b)
+	}
+}
+
+// TestLatencyFloorHolds: the continuous-time lower bound is a valid floor
+// under every latency model (they only delay), and bounded models respect
+// the MaxFactor-scaled envelope on a known-exact instance.
+func TestLatencyFloorHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	tr := tree.Random(400, 10, rng)
+	speeds := []float64{1, 2, 2, 3}
+	for _, lat := range []Latency{Constant{}, Jitter{Frac: 0.5}, HeavyTail{Alpha: 2}} {
+		for _, name := range AlgorithmNames() {
+			alg, err := NewNamedAlgorithm(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewEngine(tr, speeds, WithAlgorithm(alg), WithLatency(lat), WithSeed(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run(0)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, lat, err)
+			}
+			if lb := LowerBound(tr.N(), tr.Depth(), speeds); res.Makespan < lb-1e-9 {
+				t.Errorf("%s/%s: makespan %.2f below floor %.2f", name, lat, res.Makespan, lb)
+			}
+		}
+	}
+	// One unit-speed robot on a path is an exact DFS: 2(n−1) nominal time,
+	// so a bounded-jitter run lands in [2(n−1), (1+f)·2(n−1)].
+	path := tree.Path(50)
+	e, err := NewEngine(path, []float64{1}, WithLatency(Jitter{Frac: 0.25}), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := 2 * float64(path.N()-1)
+	if res.Makespan < nominal || res.Makespan > 1.25*nominal {
+		t.Errorf("jittered path makespan %.2f outside [%.0f, %.0f]", res.Makespan, nominal, 1.25*nominal)
+	}
+}
+
+func TestResultCountsEvents(t *testing.T) {
+	res := runAsync(t, tree.Path(10), uniformSpeeds(2))
+	if res.Events <= 0 {
+		t.Errorf("Events = %d, want > 0", res.Events)
+	}
+}

@@ -1,0 +1,134 @@
+package async
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Latency models the time one edge traversal takes in the continuous-time
+// engine. The nominal duration of a traversal by a robot of speed s is 1/s;
+// a Latency turns that nominal duration into a distribution, so traversal
+// times model networked workers with variable per-message latency rather
+// than fixed clock rates. Implementations must be ≥ the nominal duration
+// (delay models queueing and jitter on top of the link rate, never a
+// speed-up), must draw all randomness from the supplied rng and nothing
+// else (the engine's determinism contract: one seeded stream, consumed in
+// event order), and must be safe for concurrent use from multiple sweep
+// workers — the stock models are stateless values.
+type Latency interface {
+	// Sample returns the duration of one edge traversal by a robot of base
+	// speed speed (> 0). rng is the engine's seeded stream; models that need
+	// no randomness must not draw from it.
+	Sample(speed float64, rng *rand.Rand) float64
+	// MaxFactor reports the model's worst-case multiplier over the nominal
+	// 1/speed duration: 1 for Constant, 1+Frac for Jitter, and 0 when the
+	// support is unbounded (HeavyTail). Experiments use it to scale
+	// synchronous round envelopes into continuous-time makespan envelopes.
+	MaxFactor() float64
+	// String renders the model in the spec form ParseLatency accepts.
+	String() string
+}
+
+// Constant is the degenerate latency model: every traversal takes exactly
+// the nominal 1/speed. It draws no randomness, so runs under Constant are
+// identical for every engine seed — the pre-PR-7 fixed-speed behaviour.
+type Constant struct{}
+
+// Sample implements Latency.
+func (Constant) Sample(speed float64, _ *rand.Rand) float64 { return 1 / speed }
+
+// MaxFactor implements Latency.
+func (Constant) MaxFactor() float64 { return 1 }
+
+func (Constant) String() string { return "constant" }
+
+// Jitter is the bounded-jitter model: each traversal takes the nominal
+// duration stretched by a factor drawn uniformly from [1, 1+Frac]. The
+// support is bounded, so makespans stay within (1+Frac)× any constant-speed
+// envelope while every individual traversal time is unpredictable.
+type Jitter struct {
+	// Frac is the jitter amplitude (> 0): the worst traversal takes
+	// (1+Frac)/speed.
+	Frac float64
+}
+
+// Sample implements Latency.
+func (j Jitter) Sample(speed float64, rng *rand.Rand) float64 {
+	return (1 + j.Frac*rng.Float64()) / speed
+}
+
+// MaxFactor implements Latency.
+func (j Jitter) MaxFactor() float64 { return 1 + j.Frac }
+
+func (j Jitter) String() string { return "jitter:" + strconv.FormatFloat(j.Frac, 'g', -1, 64) }
+
+// HeavyTail is the heavy-tailed model: traversal durations follow a Pareto
+// distribution with scale 1/speed and shape Alpha, the classical model for
+// straggling network workers. Alpha > 1 keeps the mean finite
+// (Alpha/(Alpha−1) × nominal) but the support is unbounded — MaxFactor
+// reports 0 and no makespan envelope applies.
+type HeavyTail struct {
+	// Alpha is the Pareto shape (> 1); smaller Alpha means heavier tails.
+	Alpha float64
+}
+
+// Sample implements Latency.
+func (h HeavyTail) Sample(speed float64, rng *rand.Rand) float64 {
+	// Inverse-CDF with u ∈ (0, 1]: u^(-1/α) ≥ 1, unbounded as u → 0.
+	u := 1 - rng.Float64()
+	return math.Pow(u, -1/h.Alpha) / speed
+}
+
+// MaxFactor implements Latency.
+func (HeavyTail) MaxFactor() float64 { return 0 }
+
+func (h HeavyTail) String() string { return "pareto:" + strconv.FormatFloat(h.Alpha, 'g', -1, 64) }
+
+// ParseLatency builds a Latency from its spec string, the inverse of each
+// model's String: "constant" (or ""), "jitter:F" with F > 0 (e.g.
+// "jitter:0.5"), "pareto:A" with shape A > 1 (e.g. "pareto:2.5"). The spec
+// form is what the bfdn facade, the bfdnd asyncsweep endpoint, and the
+// experiment tables carry.
+func ParseLatency(spec string) (Latency, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	switch name {
+	case "", "constant":
+		if hasArg {
+			return nil, fmt.Errorf("async: latency %q: constant takes no parameter", spec)
+		}
+		return Constant{}, nil
+	case "jitter":
+		f, err := parseLatencyArg(spec, arg, hasArg)
+		if err != nil {
+			return nil, err
+		}
+		if f <= 0 || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("async: latency %q: need a jitter fraction > 0", spec)
+		}
+		return Jitter{Frac: f}, nil
+	case "pareto":
+		a, err := parseLatencyArg(spec, arg, hasArg)
+		if err != nil {
+			return nil, err
+		}
+		if a <= 1 || math.IsInf(a, 0) {
+			return nil, fmt.Errorf("async: latency %q: need a Pareto shape > 1 (finite mean)", spec)
+		}
+		return HeavyTail{Alpha: a}, nil
+	}
+	return nil, fmt.Errorf("async: unknown latency model %q (valid: constant, jitter:F, pareto:A)", spec)
+}
+
+func parseLatencyArg(spec, arg string, hasArg bool) (float64, error) {
+	if !hasArg || arg == "" {
+		return 0, fmt.Errorf("async: latency %q: missing parameter", spec)
+	}
+	f, err := strconv.ParseFloat(arg, 64)
+	if err != nil || math.IsNaN(f) {
+		return 0, fmt.Errorf("async: latency %q: invalid parameter %q", spec, arg)
+	}
+	return f, nil
+}

@@ -2,6 +2,7 @@ package async
 
 import (
 	"container/heap"
+	"fmt"
 
 	"bfdn/internal/tree"
 )
@@ -47,6 +48,14 @@ func newOpenIndex() *openIndex {
 	}
 }
 
+// reset empties the index for reuse, keeping the bucket slice's capacity.
+func (a *openIndex) reset() {
+	a.buckets = a.buckets[:0]
+	a.minDepth = 0
+	clear(a.loads)
+	clear(a.open)
+}
+
 func (a *openIndex) bucket(d int) *oBucket {
 	for d >= len(a.buckets) {
 		a.buckets = append(a.buckets, oBucket{})
@@ -81,21 +90,26 @@ func (a *openIndex) changeLoad(v tree.NodeID, d, delta int) {
 }
 
 // minLoadAtMinDepth returns the least-loaded open node at the minimal open
-// depth.
-func (a *openIndex) minLoadAtMinDepth() (tree.NodeID, int, bool) {
+// depth; ok is false when nothing is open. The lazy heap holds at least one
+// live entry for every open node at the bucket's depth (add and changeLoad
+// both push), so draining it while size > 0 is a size/heap desync — an
+// internal invariant violation reported as an error rather than a panic
+// deep in the event loop.
+func (a *openIndex) minLoadAtMinDepth() (tree.NodeID, int, bool, error) {
 	for a.minDepth < len(a.buckets) && a.buckets[a.minDepth].size == 0 {
 		a.minDepth++
 	}
 	if a.minDepth >= len(a.buckets) {
-		return 0, 0, false
+		return 0, 0, false, nil
 	}
 	b := &a.buckets[a.minDepth]
-	for {
+	for len(b.heap) > 0 {
 		e := b.heap[0]
 		if !a.open[e.node] || e.load != a.loads[e.node] {
 			heap.Pop(&b.heap)
 			continue
 		}
-		return e.node, a.minDepth, true
+		return e.node, a.minDepth, true, nil
 	}
+	return 0, 0, false, fmt.Errorf("async: open-index invariant violated: depth %d reports %d open nodes but its heap is empty", a.minDepth, b.size)
 }

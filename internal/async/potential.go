@@ -1,0 +1,155 @@
+package async
+
+import (
+	"fmt"
+
+	"bfdn/internal/tree"
+)
+
+// Potential ports the Potential Function Method's DFS-slot strategy
+// (arXiv:2311.01354, reproduced synchronously in internal/potential) onto
+// arrival-instant decisions: the m unclaimed dangling edges are enumerated
+// in DFS preorder of the explored tree, robot i chases slot ⌊i·m/k⌋, and on
+// reaching the node holding its slot it claims the edge. Claims are
+// persistent here exactly as in asynchronous BFDN — an edge leaves the slot
+// enumeration the instant it is claimed, not when its endpoint is
+// discovered — so the even split is over work nobody has committed to yet.
+// With nothing unclaimed the robots climb home and park.
+type Potential struct {
+	k int
+	// open[v] counts unclaimed dangling edges in the explored part of the
+	// subtree T(v), maintained incrementally: +c along child→root when a
+	// node with c dangling edges is discovered, −1 along u→root when an
+	// edge is claimed at u.
+	open subtreeCounts
+}
+
+var _ Algorithm = (*Potential)(nil)
+
+// subtreeCounts is a growable int32 slice indexed by NodeID.
+type subtreeCounts struct {
+	vals []int32
+}
+
+func (g *subtreeCounts) get(v tree.NodeID) int32 {
+	if int(v) >= len(g.vals) {
+		return 0
+	}
+	return g.vals[v]
+}
+
+func (g *subtreeCounts) add(v tree.NodeID, d int32) {
+	for int(v) >= len(g.vals) {
+		g.vals = append(g.vals, 0)
+	}
+	g.vals[v] += d
+}
+
+// NewPotential returns an asynchronous DFS-slot strategy; Reset sizes it to
+// a fleet.
+func NewPotential() *Potential { return &Potential{} }
+
+func (p *Potential) String() string { return "potential" }
+
+// Reset implements Algorithm.
+func (p *Potential) Reset(k int) {
+	p.k = k
+	for i := range p.open.vals {
+		p.open.vals[i] = 0
+	}
+}
+
+// OnExplored implements Algorithm: a discovery with c dangling edges adds c
+// open slots to every subtree count on the path to the root. The edge that
+// led to child was already subtracted at claim time.
+func (p *Potential) OnExplored(v View, _, child tree.NodeID, _ bool) {
+	c := int32(v.Unclaimed(child))
+	if c == 0 {
+		return
+	}
+	for u := child; ; u = v.Parent(u) {
+		p.open.add(u, c)
+		if u == tree.Root {
+			break
+		}
+	}
+}
+
+// Decide implements Algorithm: locate slot ⌊i·m/k⌋ in DFS preorder, claim
+// on arrival, otherwise take one edge towards it; with m = 0 climb home.
+func (p *Potential) Decide(v View, i int) (Move, error) {
+	pos := v.Pos(i)
+	m := int(p.open.get(tree.Root))
+	if m == 0 {
+		if pos == tree.Root {
+			return Move{Kind: Park}, nil
+		}
+		return Move{Kind: MoveTo, To: v.Parent(pos)}, nil
+	}
+	u, err := p.locate(v, i*m/p.k)
+	if err != nil {
+		return Move{}, err
+	}
+	if pos == u {
+		for w := u; ; w = v.Parent(w) {
+			p.open.add(w, -1)
+			if w == tree.Root {
+				break
+			}
+		}
+		return Move{Kind: Claim}, nil
+	}
+	return stepTowards(v, pos, u), nil
+}
+
+// locate resolves unclaimed-slot s (0 ≤ s < open(root)) in the DFS preorder
+// of the explored tree to the node holding that dangling edge. Port order
+// puts a node's explored children before its own dangling edges, so the
+// preorder at u is: the slots of each explored child subtree in port order,
+// then u's own unclaimed edges. Children still being crossed are unexplored
+// and hold no slots yet.
+func (p *Potential) locate(v View, s int) (tree.NodeID, error) {
+	u := tree.Root
+	for {
+		own := v.Unclaimed(u)
+		sChild := int(p.open.get(u)) - own
+		if s >= sChild {
+			if s-sChild >= own {
+				return tree.Nil, fmt.Errorf("potential: slot overflow at node %d: %d ≥ %d", u, s-sChild, own)
+			}
+			return u, nil
+		}
+		next := tree.Nil
+		v.EachExploredChild(u, func(ch tree.NodeID) bool {
+			w := int(p.open.get(ch))
+			if s < w {
+				next = ch
+				return false
+			}
+			s -= w
+			return true
+		})
+		if next == tree.Nil {
+			return tree.Nil, fmt.Errorf("potential: inconsistent open counts at node %d", u)
+		}
+		u = next
+	}
+}
+
+// stepTowards returns the one-edge move from pos towards target u ≠ pos:
+// down into the child of pos that is an ancestor of u when u lies below
+// pos, up otherwise.
+func stepTowards(v View, pos, u tree.NodeID) Move {
+	dp := v.DepthOf(pos)
+	if v.DepthOf(u) <= dp {
+		return Move{Kind: MoveTo, To: v.Parent(pos)}
+	}
+	c := u
+	for v.DepthOf(c) > dp+1 {
+		c = v.Parent(c)
+	}
+	if v.Parent(c) == pos {
+		return Move{Kind: MoveTo, To: c}
+	}
+	return Move{Kind: MoveTo, To: v.Parent(pos)}
+}

@@ -40,23 +40,34 @@ func E13ContinuousTime(cfg Config) (*table.Table, Outcome, error) {
 			return nil, out, err
 		}
 		t1 := theorem1(tr, k)
-		var uniform float64
-		for _, fl := range fleets {
+		// Run every fleet first, then check: the faster-fleet comparisons
+		// need the uniform fleet's makespan, and capturing it inside a single
+		// loop silently compares against zero whenever the uniform fleet is
+		// not listed first.
+		results := make([]async.Result, len(fleets))
+		uniform := math.NaN()
+		for i, fl := range fleets {
 			e, err := async.NewEngine(tr, fl.speeds)
 			if err != nil {
 				return nil, out, err
 			}
-			res, err := e.Run(0)
+			results[i], err = e.Run(0)
 			if err != nil {
 				return nil, out, err
 			}
+			if fl.name == "8x1.0" {
+				uniform = results[i].Makespan
+			}
+		}
+		out.check(!math.IsNaN(uniform), "E13: %s: no uniform baseline fleet in the suite", tr)
+		for i, fl := range fleets {
+			res := results[i]
 			floor := async.LowerBound(tr.N(), tr.Depth(), fl.speeds)
 			tb.AddRow(tr.String(), fl.name, res.Makespan, floor, sync.Rounds, t1)
 			out.check(res.FullyExplored && res.AllAtRoot, "E13: %s %s incomplete", tr, fl.name)
 			out.check(res.Makespan >= floor-1e-9,
 				"E13: %s %s: makespan %.1f below offline floor %.1f", tr, fl.name, res.Makespan, floor)
 			if fl.name == "8x1.0" {
-				uniform = res.Makespan
 				out.check(res.Makespan <= t1,
 					"E13: %s: uniform async makespan %.1f exceeds Theorem 1 %.1f", tr, res.Makespan, t1)
 			} else {

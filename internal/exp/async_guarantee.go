@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+
+	"bfdn/internal/async"
+	"bfdn/internal/bounds"
+	"bfdn/internal/core"
+	"bfdn/internal/table"
+	"bfdn/internal/tree"
+)
+
+// E16AsyncGuarantee checks the asynchronous CTE results of arXiv:2507.15658
+// on the CTE-hard families of E15, racing the continuous-time engine's two
+// strategies against synchronous BFDN. Predictions checked on every
+// (tree, algorithm, fleet, latency) point:
+//
+//   - the run completes with every robot back at the root;
+//   - the makespan never beats the continuous-time offline floor
+//     max{2(n−1)/Σsᵢ, 2D/max sᵢ} — the paper's lower-bound direction, which
+//     latency models cannot break because they only delay traversals;
+//   - under a bounded latency model (factor f = Latency.MaxFactor) the
+//     uniform unit-speed fleet stays within f × the strategy's synchronous
+//     round envelope — Theorem 1 for BFDN, the measured 8n/k + O(D²)
+//     envelope for the Potential DFS-slot rule — the guarantee direction:
+//     bounded latency factors turn round envelopes into makespan envelopes.
+//     Heavy-tail latency (unbounded factor) keeps only the floor and
+//     completeness checks;
+//   - the race: with constant latency and unit speeds, asynchronous BFDN's
+//     event-driven decisions never lose a full Theorem 1 budget to the
+//     synchronous barrier — makespan ≤ sync rounds + Theorem 1 slack.
+func E16AsyncGuarantee(cfg Config) (*table.Table, Outcome, error) {
+	tb := table.New("E16 — asynchronous guarantee vs continuous-time floor (CTE-hard families)",
+		"tree", "alg", "fleet", "latency", "makespan", "floor", "envelope", "sync-BFDN")
+	var out Outcome
+	k := 16
+	s := cfg.Scale
+	suite := []*tree.Tree{
+		tree.UnevenPaths(k, 60*s),
+		tree.UnevenPaths(4*k, 30*s),
+		tree.Spider(8, 12*s),
+		tree.Comb(20*s, 6),
+		tree.Caterpillar(15*s, 5),
+		tree.Random(800*s, 60, cfg.rng(1601)),
+		tree.Random(1500*s, 18, cfg.rng(1602)),
+	}
+	fleets := []struct {
+		name   string
+		speeds []float64
+	}{
+		{"16x1", uniformFleet(k, 1)},
+		{"8x1+8x2", append(uniformFleet(k/2, 1), uniformFleet(k/2, 2)...)},
+	}
+	lats := []string{"constant", "jitter:0.5", "pareto:1.5"}
+	seed := cfg.Seed * 1_000_003
+	for _, tr := range suite {
+		sync, err := run(tr, k, core.NewAlgorithm(k))
+		if err != nil {
+			return nil, out, err
+		}
+		n, d := tr.N(), tr.Depth()
+		// Round envelopes with unit speeds: Theorem 1 for BFDN; for the
+		// Potential DFS-slot rule the measured continuous-time envelope
+		// (internal/async's regression bound — per-arrival claim dynamics
+		// triple the synchronous 2n/k linear term on shallow bushy trees).
+		envelope := map[string]float64{
+			"bfdn":      bounds.Theorem1(n, d, k, tr.MaxDegree()),
+			"potential": 8*float64(n)/float64(k) + float64(4*d*d+4*d+8),
+		}
+		for _, algName := range async.AlgorithmNames() {
+			for _, fl := range fleets {
+				for _, latName := range lats {
+					seed++
+					res, lat, err := runAsyncPoint(tr, fl.speeds, algName, latName, seed)
+					if err != nil {
+						return nil, out, err
+					}
+					floor := async.LowerBound(n, d, fl.speeds)
+					env := 0.0
+					uniform := fl.name == "16x1"
+					if f := lat.MaxFactor(); f > 0 && uniform {
+						env = f * envelope[algName]
+					}
+					tb.AddRow(tr.String(), algName, fl.name, latName,
+						res.Makespan, floor, env, sync.Rounds)
+					out.check(res.FullyExplored && res.AllAtRoot,
+						"E16: %s %s/%s/%s incomplete", tr, algName, fl.name, latName)
+					out.check(res.Makespan >= floor-1e-9,
+						"E16: %s %s/%s/%s: makespan %.1f below continuous-time floor %.1f",
+						tr, algName, fl.name, latName, res.Makespan, floor)
+					if env > 0 {
+						out.check(res.Makespan <= env,
+							"E16: %s %s/%s/%s: makespan %.1f above envelope %.1f",
+							tr, algName, fl.name, latName, res.Makespan, env)
+					}
+					if algName == "bfdn" && uniform && latName == "constant" {
+						out.check(res.Makespan <= float64(sync.Rounds)+envelope["bfdn"],
+							"E16: %s: async BFDN %.1f loses a full Theorem 1 budget to sync BFDN (%d rounds)",
+							tr, res.Makespan, sync.Rounds)
+					}
+				}
+			}
+		}
+	}
+	return tb, out, nil
+}
+
+// runAsyncPoint executes one continuous-time run and returns its result with
+// the parsed latency model (for MaxFactor).
+func runAsyncPoint(tr *tree.Tree, speeds []float64, algName, latName string, seed int64) (async.Result, async.Latency, error) {
+	alg, err := async.NewNamedAlgorithm(algName)
+	if err != nil {
+		return async.Result{}, nil, err
+	}
+	lat, err := async.ParseLatency(latName)
+	if err != nil {
+		return async.Result{}, nil, err
+	}
+	e, err := async.NewEngine(tr, speeds,
+		async.WithAlgorithm(alg), async.WithLatency(lat), async.WithSeed(seed))
+	if err != nil {
+		return async.Result{}, nil, err
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		return async.Result{}, nil, fmt.Errorf("exp: %s %s/%s: %w", tr, algName, latName, err)
+	}
+	return res, lat, nil
+}
+
+// uniformFleet builds a fleet of count robots at the given speed.
+func uniformFleet(count int, speed float64) []float64 {
+	speeds := make([]float64, count)
+	for i := range speeds {
+		speeds[i] = speed
+	}
+	return speeds
+}

@@ -1,4 +1,4 @@
-// Package exp runs the reproduction experiments E1–E15 and the ablations
+// Package exp runs the reproduction experiments E1–E16 and the ablations
 // A1–A2 indexed in DESIGN.md §3, producing the tables recorded in
 // EXPERIMENTS.md: the empirical checks of Theorem 1, Theorem 3, Lemma 2,
 // Claims 1–4, Propositions 6/7/9, Theorem 10 and the Figure 1 region

@@ -14,8 +14,8 @@ func TestRunAllNoViolations(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
-	if len(reports) != 17 {
-		t.Fatalf("got %d reports, want 17", len(reports))
+	if len(reports) != 18 {
+		t.Fatalf("got %d reports, want 18", len(reports))
 	}
 	for _, r := range reports {
 		if r.Outcome.Checks == 0 {
@@ -167,6 +167,25 @@ func TestE15FourWayNoViolations(t *testing.T) {
 	}
 	if len(tb.Rows) != 7 {
 		t.Errorf("got %d rows, want 7", len(tb.Rows))
+	}
+}
+
+func TestE16AsyncGuaranteeNoViolations(t *testing.T) {
+	tb, out, err := E16AsyncGuarantee(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violations != 0 {
+		t.Errorf("%d/%d predictions violated: %v", out.Violations, out.Checks, out.Notes)
+	}
+	// 7 trees × 2 algorithms × 2 fleets × 3 latency models.
+	if len(tb.Rows) != 7*2*2*3 {
+		t.Errorf("got %d rows, want %d", len(tb.Rows), 7*2*2*3)
+	}
+	// Every CTE-hard family must exercise both check directions: the floor
+	// on every point and the envelope on every bounded-latency uniform point.
+	if want := 84 * 2; out.Checks < want { // completeness + floor on every point
+		t.Errorf("only %d checks ran, want ≥ %d", out.Checks, want)
 	}
 }
 

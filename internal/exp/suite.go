@@ -58,6 +58,7 @@ func definitions() []definition {
 		wrap("E13", "Remark 8: continuous time / heterogeneous speeds", E13ContinuousTime),
 		wrap("E14", "Competitive ratio T/(n/k+D) across k", E14CompetitiveRatio),
 		wrap("E15", "Four-way BFDN / CTE / Tree-Mining / Potential", E15FourWay),
+		wrap("E16", "Asynchronous guarantee vs continuous-time floor", E16AsyncGuarantee),
 		wrap("A1", "Ablation: Reanchor policy", A1ReanchorPolicy),
 		wrap("A2", "Ablation: return-to-root", A2ReturnToRoot),
 	}

@@ -37,7 +37,11 @@ type metrics struct {
 	// sweep is the engine recorder (bfdnd_sweep_*): point latency and
 	// queue-wait histograms plus monotonic totals, merged in atomically per
 	// completed sweep so concurrent sweeps never clobber each other.
-	sweep *sweep.Recorder
+	// asyncSweep is its continuous-time sibling (bfdnd_async_sweep_*), fed
+	// by /v1/asyncsweep jobs; the prefixes keep the two engines' workloads
+	// separable on one dashboard.
+	sweep      *sweep.Recorder
+	asyncSweep *sweep.Recorder
 }
 
 func newMetrics() *metrics {
@@ -59,7 +63,8 @@ func newMetrics() *metrics {
 			"Simulation rounds executed by /v1/explore jobs."),
 		simExplored: reg.Counter("bfdnd_sim_explored_nodes_total",
 			"Nodes explored by /v1/explore jobs."),
-		sweep: sweep.NewRecorder(reg),
+		sweep:      sweep.NewRecorder(reg),
+		asyncSweep: sweep.NewNamedRecorder(reg, "bfdnd_async_sweep"),
 	}
 }
 
@@ -115,12 +120,14 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"bfdnd_requests_total": map[string]uint64{
-			"explore": s.m.requests.With("explore").Value(),
-			"sweep":   s.m.requests.With("sweep").Value(),
+			"explore":    s.m.requests.With("explore").Value(),
+			"sweep":      s.m.requests.With("sweep").Value(),
+			"asyncsweep": s.m.requests.With("asyncsweep").Value(),
 		},
-		"bfdnd_jobs_inflight":       int64(s.m.inflight.Value()),
-		"bfdnd_jobs_queued":         int64(s.m.queued.Value()),
-		"bfdnd_jobs_rejected_total": s.m.rejected.Value(),
-		"bfdnd_sweep_points_total":  s.m.sweep.PointsTotal.Value(),
+		"bfdnd_jobs_inflight":            int64(s.m.inflight.Value()),
+		"bfdnd_jobs_queued":              int64(s.m.queued.Value()),
+		"bfdnd_jobs_rejected_total":      s.m.rejected.Value(),
+		"bfdnd_sweep_points_total":       s.m.sweep.PointsTotal.Value(),
+		"bfdnd_async_sweep_points_total": s.m.asyncSweep.PointsTotal.Value(),
 	})
 }

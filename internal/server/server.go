@@ -22,7 +22,10 @@
 //     is what a SIGTERM handler wants to do before closing the listener.
 //
 // Endpoints: POST /v1/explore (one exploration, JSON report), POST /v1/sweep
-// (a grid of runs, streamed as JSONL in point order), GET /healthz, GET
+// (a grid of synchronous runs, streamed as JSONL in point order), POST
+// /v1/asyncsweep (its continuous-time counterpart: a grid of asynchronous
+// runs with per-robot speeds and latency models, same streaming and
+// seed/indexBase sharding contract), GET /healthz, GET
 // /capacity (the admission limits and a load snapshot, read by the
 // distributed sweep coordinator in internal/dsweep for weighted sharding),
 // GET /metrics (Prometheus text exposition of the per-Server registry), a
@@ -152,6 +155,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.HandleFunc("POST /v1/asyncsweep", s.instrument("asyncsweep", s.handleAsyncSweep))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /capacity", s.instrument("capacity", s.handleCapacity))
 	s.mux.Handle("GET /metrics", s.m.reg.Handler())

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// orderedStream writes a JSONL response whose records appear strictly in
+// index order, regardless of the order workers deliver them. Sweep pools
+// report completions in arbitrary order; records are buffered until their
+// index is next, so the stream is byte-identical at any worker count — the
+// property distributed coordinators and diff-based tests rely on.
+//
+// Constructing the stream sets the response headers but net/http only
+// flushes them on the first body write, so a validation failure before any
+// record has been emitted can still turn into a clean error status.
+type orderedStream struct {
+	enc     *json.Encoder
+	flusher http.Flusher
+
+	mu      sync.Mutex
+	pending map[int]any
+	next    int
+}
+
+func newOrderedStream(w http.ResponseWriter) *orderedStream {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	return &orderedStream{
+		enc:     json.NewEncoder(w),
+		flusher: flusher,
+		pending: make(map[int]any),
+	}
+}
+
+// emit hands record i to the stream. Records arrive at most once per index;
+// each is written (and flushed) as soon as every lower index has been.
+// Safe for concurrent calls from worker goroutines.
+func (s *orderedStream) emit(i int, record any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending[i] = record
+	for {
+		r, ok := s.pending[s.next]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.next)
+		s.next++
+		s.write(r)
+	}
+}
+
+// finish appends the trailing record. Call it after the producing pool has
+// drained; any records still pending at that point were never emitted (their
+// indices were skipped upstream) and are dropped rather than reordered.
+func (s *orderedStream) finish(record any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.write(record)
+}
+
+func (s *orderedStream) write(record any) {
+	_ = s.enc.Encode(record) // a dead client just discards the stream
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+}

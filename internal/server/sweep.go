@@ -1,10 +1,8 @@
 package server
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
 
 	"bfdn"
 )
@@ -104,26 +102,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			points[i] = bfdn.SweepPoint{Tree: t, K: p.K, Algorithm: alg, Ell: p.Ell}
 		}
 
-		// Headers are set now but only flushed on the first body write, so a
-		// validation failure inside SweepStream (before any point has run)
-		// can still turn into a clean 400 below.
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.Header().Set("X-Accel-Buffering", "no")
-		flusher, _ := w.(http.Flusher)
-		enc := json.NewEncoder(w)
-
-		// Emit lines strictly in point order. Workers report completions in
-		// arbitrary order; lines are buffered until their index is next, so
-		// the stream is byte-identical at any worker count.
-		var mu sync.Mutex
-		pending := make(map[int]sweepLine)
-		next := 0
-		write := func(l sweepLine) {
-			_ = enc.Encode(l) // a dead client just discards the stream
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
+		// The stream emits lines strictly in point order (orderedStream), so
+		// the response is byte-identical at any worker count. Headers are set
+		// now but only flushed on the first body write, so a validation
+		// failure inside SweepStream (before any point has run) can still
+		// turn into a clean 400 below.
+		stream := newOrderedStream(w)
 		emit := func(i int, res bfdn.SweepResult) {
 			line := sweepLine{Point: i}
 			if res.Err != nil {
@@ -132,18 +116,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				rep := res.Report
 				line.Report = &rep
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			pending[i] = line
-			for {
-				l, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
-				next++
-				write(l)
-			}
+			stream.emit(i, line)
 		}
 
 		// The engine recorder folds this sweep's point-latency histogram and
@@ -158,9 +131,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		mu.Lock()
-		write(sweepLine{Point: -1, Done: true, Points: stats.Points,
+		stream.finish(sweepLine{Point: -1, Done: true, Points: stats.Points,
 			PointsPerSec: stats.PointsPerSec, Workers: stats.Workers})
-		mu.Unlock()
 	})
 }

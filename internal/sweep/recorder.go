@@ -35,16 +35,23 @@ type Recorder struct {
 // project's canonical bfdnd_sweep_* names and returns the Recorder to pass
 // via Options.Recorder.
 func NewRecorder(reg *obs.Registry) *Recorder {
+	return NewNamedRecorder(reg, "bfdnd_sweep")
+}
+
+// NewNamedRecorder is NewRecorder with a caller-chosen metric-name prefix,
+// so the synchronous and asynchronous sweep engines expose separate metric
+// families on one registry (bfdnd_sweep_* vs bfdnd_async_sweep_*).
+func NewNamedRecorder(reg *obs.Registry, prefix string) *Recorder {
 	return &Recorder{
-		PointDuration: reg.Histogram("bfdnd_sweep_point_duration_seconds",
+		PointDuration: reg.Histogram(prefix+"_point_duration_seconds",
 			"Wall-clock simulation time per sweep point.", obs.DefDurationBuckets()),
-		QueueWait: reg.Histogram("bfdnd_sweep_queue_wait_seconds",
+		QueueWait: reg.Histogram(prefix+"_queue_wait_seconds",
 			"Delay between sweep start and point execution start.", obs.DefDurationBuckets()),
-		PointsTotal: reg.Counter("bfdnd_sweep_points_total",
+		PointsTotal: reg.Counter(prefix+"_points_total",
 			"Sweep points settled (executed or canceled)."),
-		ErrorsTotal: reg.Counter("bfdnd_sweep_point_errors_total",
+		ErrorsTotal: reg.Counter(prefix+"_point_errors_total",
 			"Sweep points settled with an error."),
-		BusySeconds: reg.FloatCounter("bfdnd_sweep_busy_seconds_total",
+		BusySeconds: reg.FloatCounter(prefix+"_busy_seconds_total",
 			"Cumulative sweep-worker busy time."),
 	}
 }

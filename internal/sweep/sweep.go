@@ -152,26 +152,57 @@ func Run(points []Point, opt Options) ([]Result, Stats) {
 // before the cancellation keep their results, and every other point carries
 // the context's error in Result.Err — partial results are never discarded.
 func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Stats) {
-	workers := opt.Workers
+	results := make([]Result, len(points))
+	worlds := make([]*sim.World, 0)
+	algs := make([]sim.Algorithm, 0)
+	stats := runPool(ctx, len(points), opt.Workers, opt.Recorder, func(workers int) {
+		worlds = make([]*sim.World, workers)
+		algs = make([]sim.Algorithm, workers)
+	}, func(wk, i int, canceled bool) bool {
+		if canceled {
+			results[i] = Result{Point: i, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(i)),
+				Err: fmt.Errorf("sweep: point %d: %w", i, ctx.Err())}
+		} else {
+			results[i] = runPoint(ctx, &worlds[wk], &algs[wk], points[i], i, opt)
+		}
+		return results[i].Err != nil
+	}, func(i int) {
+		if opt.OnResult != nil {
+			opt.OnResult(results[i])
+		}
+	})
+	return results, stats
+}
+
+// runPool is the worker-pool core shared by the synchronous and
+// asynchronous engines: it shards n points over a pool, drives the private
+// run recorder every invocation derives its Stats from (so the numbers
+// handed to callers and the ones merged into recorder cannot disagree), and
+// preserves the engine's accounting conventions — busy time accumulates in
+// a goroutine-local variable stored once at exit (adjacent busy slots share
+// cache lines), and the settle callback runs outside the timed section so
+// slow OnResult consumers stall the worker without inflating PointDuration.
+// init is called once with the effective worker count before any point
+// runs; exec settles point i on worker wk (canceled points settle without
+// running) and reports failure; settle fires after the point is recorded.
+func runPool(ctx context.Context, n, workers int, recorder *Recorder,
+	init func(workers int), exec func(wk, i int, canceled bool) bool, settle func(i int)) Stats {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(points) {
-		workers = len(points)
+	if workers > n {
+		workers = n
 	}
-	results := make([]Result, len(points))
-	stats := Stats{Points: len(points), Workers: workers}
-	if len(points) == 0 {
-		return results, stats
+	stats := Stats{Points: n, Workers: workers}
+	if n == 0 {
+		return stats
 	}
+	init(workers)
 
 	var mem0 runtime.MemStats
 	runtime.ReadMemStats(&mem0)
 	start := time.Now()
 
-	// Every run records into a private recorder — a handful of atomic adds
-	// per point — and Stats is derived from it below, so the numbers handed
-	// to callers and the ones merged into opt.Recorder cannot disagree.
 	rec := newRunRecorder()
 	busy := make([]time.Duration, workers)
 	var next atomic.Int64
@@ -180,11 +211,6 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
-			var world *sim.World
-			var alg sim.Algorithm
-			// Busy time accumulates in a goroutine-local variable and is
-			// stored once at exit: adjacent busy[wk] slots share cache lines,
-			// and a per-point store from every worker would ping-pong them.
 			var busyLocal time.Duration
 			defer func() {
 				busy[wk] = busyLocal
@@ -192,23 +218,20 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 			}()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(points) {
+				if i >= n {
 					return
 				}
-				if err := ctx.Err(); err != nil {
-					results[i] = Result{Point: i, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(i)),
-						Err: fmt.Errorf("sweep: point %d: %w", i, err)}
-					rec.point(time.Since(start), 0, true)
+				if ctx.Err() != nil {
+					failed := exec(wk, i, true)
+					rec.point(time.Since(start), 0, failed)
 				} else {
 					t0 := time.Now()
-					results[i] = runPoint(ctx, &world, &alg, points[i], i, opt)
+					failed := exec(wk, i, false)
 					d := time.Since(t0)
 					busyLocal += d
-					rec.point(t0.Sub(start), d, results[i].Err != nil)
+					rec.point(t0.Sub(start), d, failed)
 				}
-				if opt.OnResult != nil {
-					opt.OnResult(results[i])
-				}
+				settle(i)
 			}
 		}(wk)
 	}
@@ -220,16 +243,16 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 	if s := stats.Elapsed.Seconds(); s > 0 {
 		stats.PointsPerSec = float64(rec.PointsTotal.Value()) / s
 	}
-	stats.AllocsPerPoint = float64(mem1.Mallocs-mem0.Mallocs) / float64(len(points))
+	stats.AllocsPerPoint = float64(mem1.Mallocs-mem0.Mallocs) / float64(n)
 	if d := stats.Elapsed.Seconds() * float64(workers); d > 0 {
 		stats.Utilization = rec.BusySeconds.Value() / d
 	}
 	stats.Errors = int(rec.ErrorsTotal.Value())
 	stats.WorkerBusy = busy
-	if opt.Recorder != nil {
-		opt.Recorder.merge(rec)
+	if recorder != nil {
+		recorder.merge(rec)
 	}
-	return results, stats
+	return stats
 }
 
 // runPoint executes one point on the worker's recycled world. world and
