@@ -31,6 +31,7 @@ import (
 	"bfdn/internal/cte"
 	"bfdn/internal/graph"
 	"bfdn/internal/levelwise"
+	"bfdn/internal/obs/tracing"
 	"bfdn/internal/offline"
 	"bfdn/internal/potential"
 	"bfdn/internal/recursive"
@@ -329,10 +330,17 @@ func ExploreContext(ctx context.Context, t *Tree, k int, opts ...Option) (*Repor
 		f := cfg.progress
 		w.SetObserver(func(p sim.Progress) { f(Progress(p)) })
 	}
-	res, err := sim.RunContext(ctx, w, alg, 0)
+	// One span for the whole simulation: under a traced bfdnd job this is
+	// the explore endpoint's "where did the time go" answer. A context with
+	// no span makes Start and both nil-span calls below no-ops.
+	sctx, span := tracing.Start(ctx, "sim.run",
+		tracing.Int("n", t.N()), tracing.Int("k", k))
+	defer span.End()
+	res, err := sim.RunContext(sctx, w, alg, 0)
 	if err != nil {
 		return nil, err
 	}
+	span.SetAttr(tracing.Int("rounds", res.Rounds))
 	return &Report{
 		Rounds:            res.Rounds,
 		Moves:             res.Moves,

@@ -21,10 +21,15 @@
 //	GET  /metrics      Prometheus text exposition (bfdnd_*)
 //	GET  /debug/vars   thin expvar-compatible view of the same counters
 //	GET  /debug/pprof/ net/http/pprof profiles
+//	GET  /debug/traces JSONL span export (?trace= filters one trace)
+//	GET  /debug/exemplars  latency-bucket → recent trace ID exemplars
 //
 // Logging is structured (log/slog) on stderr: text by default, JSON lines
 // with -logjson. Every admitted job logs start and completion records keyed
-// by the job ID also returned in the X-Bfdnd-Job response header.
+// by the job ID also returned in the X-Bfdnd-Job response header; with
+// tracing enabled (-tracebuf > 0) those records also carry the trace and
+// span IDs, and inbound W3C traceparent headers (a distributed coordinator's
+// dispatch spans) are continued rather than starting fresh traces.
 //
 // On SIGINT/SIGTERM the daemon stops admitting jobs, drains in-flight work
 // (bounded by -drain), then closes the listener.
@@ -47,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"bfdn/internal/obs/tracing"
 	"bfdn/internal/server"
 )
 
@@ -69,6 +75,8 @@ func run() error {
 		maxPoints    = flag.Int("maxpoints", 10_000, "most points in one sweep request")
 		drain        = flag.Duration("drain", 30*time.Second, "grace period for in-flight work on shutdown")
 		logJSON      = flag.Bool("logjson", false, "emit structured logs as JSON lines (default: text)")
+		traceBuf     = flag.Int("tracebuf", 0, "span ring-buffer capacity; 0 disables tracing")
+		traceSample  = flag.Int("tracesample", 64, "record 1 in N per-point spans inside traced sweeps")
 	)
 	flag.Parse()
 	if *jobs < 0 || *sweepWorkers < 0 {
@@ -76,6 +84,9 @@ func run() error {
 	}
 	if *queue < 1 || *maxNodes < 1 || *maxPoints < 1 {
 		return fmt.Errorf("need -queue, -maxnodes and -maxpoints ≥ 1")
+	}
+	if *traceBuf < 0 || *traceSample < 0 {
+		return fmt.Errorf("need -tracebuf ≥ 0 and -tracesample ≥ 0, got %d and %d", *traceBuf, *traceSample)
 	}
 
 	var handler slog.Handler
@@ -86,6 +97,11 @@ func run() error {
 	}
 	logger := slog.New(handler)
 
+	var tracer *tracing.Tracer
+	if *traceBuf > 0 {
+		tracer = tracing.New(tracing.Config{Capacity: *traceBuf, SampleEvery: *traceSample})
+	}
+
 	srv := server.New(server.Config{
 		MaxJobs:        *jobs,
 		QueueDepth:     *queue,
@@ -95,6 +111,7 @@ func run() error {
 		MaxNodes:       *maxNodes,
 		MaxPoints:      *maxPoints,
 		Logger:         logger,
+		Tracer:         tracer,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -46,6 +46,7 @@ import (
 	"bfdn"
 	"bfdn/internal/exp"
 	"bfdn/internal/obs"
+	"bfdn/internal/obs/tracing"
 	"bfdn/internal/sweep"
 )
 
@@ -69,6 +70,7 @@ func run() error {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 		fleet      = flag.String("workers", "", "comma-separated bfdnd base URLs: run a distributed sweep benchmark instead of the suite")
 		hedge      = flag.Bool("hedge", false, "with -workers: hedge straggler tail shards on idle workers")
+		traceOut   = flag.String("trace", "", `with -workers: dump the coordinator's spans as JSONL to this file ("-" = stderr)`)
 	)
 	flag.Parse()
 	if *scale < 1 {
@@ -90,7 +92,7 @@ func run() error {
 		return err
 	}
 	if *fleet != "" {
-		return runDistributed(strings.Split(*fleet, ","), *scale, *seed, *hedge)
+		return runDistributed(strings.Split(*fleet, ","), *scale, *seed, *hedge, *traceOut)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -218,8 +220,10 @@ func distGrid(scale int) []bfdn.SweepSpec {
 
 // runDistributed dispatches the benchmark grid across the fleet, streaming
 // merged lines to stdout as they become final. Ctrl-C cancels the run and
-// every in-flight worker request.
-func runDistributed(urls []string, scale int, seed int64, hedge bool) error {
+// every in-flight worker request. With traceOut set, the coordinator records
+// the run as one trace (dispatch/retry/hedge spans, traceparent propagated
+// to the workers) and dumps its spans as JSONL when the run ends.
+func runDistributed(urls []string, scale int, seed int64, hedge bool, traceOut string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -237,6 +241,11 @@ func runDistributed(urls []string, scale int, seed int64, hedge bool) error {
 	if hedge {
 		opts = append(opts, bfdn.WithDistHedging())
 	}
+	var tracer *tracing.Tracer
+	if traceOut != "" {
+		tracer = tracing.New(tracing.Config{})
+		opts = append(opts, bfdn.WithDistTracer(tracer))
+	}
 	_, stats, err := bfdn.SweepDistributed(ctx, distGrid(scale), urls, seed, opts...)
 	if err != nil {
 		return fmt.Errorf("distributed sweep: %w", err)
@@ -245,7 +254,30 @@ func runDistributed(urls []string, scale int, seed int64, hedge bool) error {
 		return fmt.Errorf("write output: %w", encErr)
 	}
 	fmt.Fprintln(os.Stderr, "distributed sweep:", stats)
+	if tracer != nil {
+		if err := dumpTrace(tracer, traceOut); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dumpTrace writes the coordinator tracer's spans as JSONL to path ("-" =
+// stderr): the coordinator half of a fleet trace, joined with the workers'
+// GET /debug/traces exports by trace ID.
+func dumpTrace(tr *tracing.Tracer, path string) error {
+	if path == "-" {
+		return tr.WriteJSONL(os.Stderr, tracing.TraceID{})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace dump: %w", err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSONL(f, tracing.TraceID{}); err != nil {
+		return fmt.Errorf("trace dump: %w", err)
+	}
+	return f.Close()
 }
 
 // countJoined reports how many errors err bundles (errors.Join exposes them

@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"bfdn/internal/dsweep"
+	"bfdn/internal/obs/tracing"
 )
 
 // SweepSpec is one point of a distributed sweep. Unlike SweepPoint it names
@@ -118,6 +120,24 @@ func WithDistOnLine(f func(DistLine)) DistOption {
 // from whatever registry the caller exposes.
 func WithDistMetrics(m *dsweep.Metrics) DistOption {
 	return func(o *dsweep.Options) { o.Metrics = m }
+}
+
+// WithDistTracer records the run as one distributed trace: a dsweep.run root
+// with probe/partition/merge children and one dsweep.dispatch span per shard
+// attempt (retries and hedge duplicates appear as sibling spans). Each
+// dispatch carries a W3C traceparent header, so workers started with tracing
+// enabled continue the coordinator's trace and the full fleet timeline can
+// be reassembled from their GET /debug/traces exports by trace ID alone.
+// Like WithSweepRecorder, only in-module callers can construct the argument.
+func WithDistTracer(t *tracing.Tracer) DistOption {
+	return func(o *dsweep.Options) { o.Tracer = t }
+}
+
+// WithDistLogger attaches a coordinator logger: per-attempt records (shard
+// done, shard retry, shard hedged, worker dead) carrying the worker-assigned
+// X-Bfdnd-Job ID, the key that joins coordinator and worker log streams.
+func WithDistLogger(l *slog.Logger) DistOption {
+	return func(o *dsweep.Options) { o.Logger = l }
 }
 
 // specsToPlan converts the public spec grid to the coordinator's wire plan.

@@ -29,7 +29,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
+	"bfdn/internal/obs/tracing"
 	"bfdn/internal/tree"
 )
 
@@ -228,6 +230,17 @@ func (e *Engine) RunContext(ctx context.Context, maxEvents int64) (Result, error
 	for i := range e.pos {
 		e.push(0, i)
 	}
+	// Phase spans, only when the caller's context carries one (a sampled
+	// sweep.point span, or a traced ExploreAsync): the heap-drain loop as a
+	// whole, and the validation time inside it accumulated per event. The
+	// untraced run pays one nil check and no clock reads.
+	traced := tracing.FromContext(ctx) != nil
+	var drainStart time.Time
+	var validateNs int64
+	var claims int64
+	if traced {
+		drainStart = time.Now()
+	}
 	n := int64(0)
 	for ; len(e.events) > 0; n++ {
 		if n >= maxEvents {
@@ -246,7 +259,17 @@ func (e *Engine) RunContext(ctx context.Context, maxEvents int64) (Result, error
 		if err != nil {
 			return Result{}, fmt.Errorf("async: %s: %w", e.alg, err)
 		}
-		if err := e.apply(i, mv); err != nil {
+		if traced {
+			if mv.Kind == Claim {
+				claims++
+			}
+			v0 := time.Now()
+			err = e.apply(i, mv)
+			validateNs += time.Since(v0).Nanoseconds()
+		} else {
+			err = e.apply(i, mv)
+		}
+		if err != nil {
 			return Result{}, err
 		}
 		// New open work discovered during this event wakes parked robots at
@@ -260,6 +283,15 @@ func (e *Engine) RunContext(ctx context.Context, maxEvents int64) (Result, error
 			}
 		}
 		e.workWoke = false
+	}
+	if traced {
+		drainEnd := time.Now()
+		tracing.Record(ctx, "async.drain", drainStart, drainEnd,
+			tracing.Int64("events", n), tracing.Int("robots", len(e.speeds)))
+		// async.claims is an aggregate: its duration is the cumulative
+		// claim/move validation time across the drain, not a wall interval.
+		tracing.Record(ctx, "async.claims", drainStart, drainStart.Add(time.Duration(validateNs)),
+			tracing.Int64("claims", claims))
 	}
 	res := Result{
 		Makespan:      e.now,

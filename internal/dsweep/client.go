@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+
+	"bfdn/internal/obs/tracing"
 )
 
 // capacity is a worker's GET /capacity advertisement (the fields the
@@ -101,6 +103,10 @@ type attemptError struct {
 	// cannot fix (HTTP 400: the plan itself is invalid for this fleet).
 	busy  bool
 	fatal bool
+	// job is the worker-assigned X-Bfdnd-Job ID when the attempt got far
+	// enough to receive one; retry/hedge log records carry it so coordinator
+	// and worker logs join on the same key.
+	job string
 }
 
 func (e *attemptError) Error() string { return e.err.Error() }
@@ -123,8 +129,10 @@ type serverLine struct {
 // Every deviation — non-200 status, unparseable line, out-of-order or
 // missing points, a truncated stream (no done line) — is reported as an
 // *attemptError so the coordinator can retry or fail over; a shard is never
-// half-merged.
-func runShard(ctx context.Context, client *http.Client, w *workerState, plan Plan, s *shard, opts Options) ([]Line, *attemptError) {
+// half-merged. The returned job is the worker's X-Bfdnd-Job ID ("" when the
+// attempt died before admission), the key that joins coordinator records
+// with the worker's own job logs.
+func runShard(ctx context.Context, client *http.Client, w *workerState, plan Plan, s *shard, opts Options) ([]Line, string, *attemptError) {
 	body, err := json.Marshal(struct {
 		Seed      int64       `json:"seed"`
 		IndexBase int         `json:"indexBase"`
@@ -132,31 +140,41 @@ func runShard(ctx context.Context, client *http.Client, w *workerState, plan Pla
 		Points    []PointSpec `json:"points"`
 	}{plan.Seed, s.lo, opts.ShardTimeout.Milliseconds(), plan.Points[s.lo:s.hi]})
 	if err != nil {
-		return nil, &attemptError{err: fmt.Errorf("dsweep: marshal shard [%d,%d): %w", s.lo, s.hi, err), fatal: true}
+		return nil, "", &attemptError{err: fmt.Errorf("dsweep: marshal shard [%d,%d): %w", s.lo, s.hi, err), fatal: true}
 	}
 	actx, cancel := context.WithTimeout(ctx, opts.ShardTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, w.url+"/v1/sweep", bytes.NewReader(body))
 	if err != nil {
-		return nil, &attemptError{err: err, fatal: true}
+		return nil, "", &attemptError{err: err, fatal: true}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the dispatch span so a traced worker continues this trace
+	// instead of starting its own; without a span in ctx nothing is written.
+	tracing.Inject(ctx, req.Header)
 	resp, err := client.Do(req)
 	if err != nil {
-		return nil, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): %w", w.url, s.lo, s.hi, err)}
+		return nil, "", &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): %w", w.url, s.lo, s.hi, err)}
 	}
 	defer resp.Body.Close()
+	// The worker assigns the job ID at admission and echoes it on every
+	// response it owns; attach it to the dispatch span and every outcome so
+	// coordinator records and worker logs join on one key.
+	job := resp.Header.Get("X-Bfdnd-Job")
+	if job != "" {
+		tracing.FromContext(ctx).SetAttr(tracing.String("job", job))
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
-		return nil, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): worker busy (%d)", w.url, s.lo, s.hi, resp.StatusCode), busy: true}
+		return nil, job, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): worker busy (%d)", w.url, s.lo, s.hi, resp.StatusCode), busy: true, job: job}
 	case http.StatusBadRequest:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-		return nil, &attemptError{err: fmt.Errorf("dsweep: %s rejected shard [%d,%d): %s", w.url, s.lo, s.hi, bytes.TrimSpace(msg)), fatal: true}
+		return nil, job, &attemptError{err: fmt.Errorf("dsweep: %s rejected shard [%d,%d): %s", w.url, s.lo, s.hi, bytes.TrimSpace(msg)), fatal: true, job: job}
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-		return nil, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): status %d: %s", w.url, s.lo, s.hi, resp.StatusCode, bytes.TrimSpace(msg))}
+		return nil, job, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): status %d: %s", w.url, s.lo, s.hi, resp.StatusCode, bytes.TrimSpace(msg)), job: job}
 	}
 
 	lines := make([]Line, 0, s.hi-s.lo)
@@ -166,28 +184,28 @@ func runShard(ctx context.Context, client *http.Client, w *workerState, plan Pla
 	for sc.Scan() {
 		var sl serverLine
 		if err := json.Unmarshal(sc.Bytes(), &sl); err != nil {
-			return nil, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): malformed line %q: %w", w.url, s.lo, s.hi, sc.Text(), err)}
+			return nil, job, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): malformed line %q: %w", w.url, s.lo, s.hi, sc.Text(), err), job: job}
 		}
 		if sl.Done {
 			sawDone = true
 			continue
 		}
 		if sawDone {
-			return nil, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): point line after done line", w.url, s.lo, s.hi)}
+			return nil, job, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): point line after done line", w.url, s.lo, s.hi), job: job}
 		}
 		if sl.Point != len(lines) {
-			return nil, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): line %d has point %d — stream out of order", w.url, s.lo, s.hi, len(lines), sl.Point)}
+			return nil, job, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): line %d has point %d — stream out of order", w.url, s.lo, s.hi, len(lines), sl.Point), job: job}
 		}
 		if sl.Error == "" && len(sl.Report) == 0 {
-			return nil, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): point %d has neither report nor error", w.url, s.lo, s.hi, sl.Point)}
+			return nil, job, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): point %d has neither report nor error", w.url, s.lo, s.hi, sl.Point), job: job}
 		}
 		lines = append(lines, Line{Point: s.lo + sl.Point, Report: sl.Report, Error: sl.Error})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): stream read: %w", w.url, s.lo, s.hi, err)}
+		return nil, job, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): stream read: %w", w.url, s.lo, s.hi, err), job: job}
 	}
 	if !sawDone || len(lines) != s.hi-s.lo {
-		return nil, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): truncated stream (%d/%d points, done=%v)", w.url, s.lo, s.hi, len(lines), s.hi-s.lo, sawDone)}
+		return nil, job, &attemptError{err: fmt.Errorf("dsweep: %s shard [%d,%d): truncated stream (%d/%d points, done=%v)", w.url, s.lo, s.hi, len(lines), s.hi-s.lo, sawDone), job: job}
 	}
-	return lines, nil
+	return lines, job, nil
 }

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"bfdn/internal/obs/tracing"
 )
 
 // shard is one contiguous range [lo,hi) of the plan's points: the unit of
@@ -166,11 +168,29 @@ func (c *coord) workerLoop(w *workerState) {
 		actx, acancel := context.WithCancel(c.ctx)
 		c.mu.Lock()
 		s.cancels = append(s.cancels, acancel)
+		// A second concurrent copy of the shard means this dispatch is the
+		// hedge duplicate; the flag only decorates the span and log record.
+		hedge := s.inflight > 1
 		c.mu.Unlock()
+		// One span per attempt, all siblings under dsweep.run: retries and
+		// hedge duplicates of a shard are separate spans on one trace, which
+		// is what makes a straggler's timeline legible after the fact.
+		sctx, span := tracing.Start(actx, "dsweep.dispatch",
+			tracing.String("worker", w.url), tracing.Int("lo", s.lo),
+			tracing.Int("hi", s.hi))
+		if hedge {
+			span.SetAttr(tracing.String("hedge", "true"))
+		}
 		start := time.Now()
-		lines, aerr := runShard(actx, c.opts.Client, w, c.plan, s, c.opts)
+		lines, job, aerr := runShard(sctx, c.opts.Client, w, c.plan, s, c.opts)
+		span.SetAttr(tracing.String("outcome", attemptOutcome(aerr)))
+		span.End()
 		acancel()
 		backoff := c.complete(w, s, lines, aerr, time.Since(start))
+		if aerr == nil && c.opts.Logger != nil {
+			c.opts.Logger.Info("shard done", "worker", w.url, "lo", s.lo, "hi", s.hi,
+				"job", job, "hedge", hedge, "elapsedMs", time.Since(start).Milliseconds())
+		}
 		if backoff > 0 {
 			select {
 			case <-c.ctx.Done():
@@ -178,6 +198,20 @@ func (c *coord) workerLoop(w *workerState) {
 			case <-time.After(backoff):
 			}
 		}
+	}
+}
+
+// attemptOutcome names an attempt's result for span attributes.
+func attemptOutcome(aerr *attemptError) string {
+	switch {
+	case aerr == nil:
+		return "ok"
+	case aerr.busy:
+		return "busy"
+	case aerr.fatal:
+		return "fatal"
+	default:
+		return "error"
 	}
 }
 
@@ -207,6 +241,10 @@ func (c *coord) next(w *workerState) *shard {
 				c.hedges++
 				c.opts.Metrics.hedge()
 				c.startLocked(s, w)
+				if c.opts.Logger != nil {
+					c.opts.Logger.Info("shard hedged", "worker", w.url,
+						"lo", s.lo, "hi", s.hi)
+				}
 				return s
 			}
 		}
@@ -291,7 +329,10 @@ func (c *coord) complete(w *workerState, s *shard, lines []Line, aerr *attemptEr
 		c.opts.Metrics.shard(w.url, "ok", elapsed)
 		// Merging outside the coordinator lock keeps a slow OnLine callback
 		// from stalling dispatch; the merger has its own ordering lock.
+		mergeStart := time.Now()
 		c.merge.deliver(s.lo, lines)
+		tracing.Record(c.ctx, "dsweep.merge", mergeStart, time.Now(),
+			tracing.Int("lo", s.lo), tracing.Int("lines", len(lines)))
 		c.cond.Broadcast()
 		return 0
 	}
@@ -308,6 +349,7 @@ func (c *coord) complete(w *workerState, s *shard, lines []Line, aerr *attemptEr
 	}
 
 	var backoff time.Duration
+	died := false
 	switch {
 	case aerr.fatal:
 		c.failLocked(aerr.err)
@@ -331,6 +373,7 @@ func (c *coord) complete(w *workerState, s *shard, lines []Line, aerr *attemptEr
 		c.opts.Metrics.shard(w.url, "error", elapsed)
 		if w.consecFails >= c.opts.WorkerFailLimit && !w.dead {
 			w.dead = true
+			died = true
 			c.live--
 			c.deadWorkers++
 			c.opts.Metrics.workerDead()
@@ -345,7 +388,19 @@ func (c *coord) complete(w *workerState, s *shard, lines []Line, aerr *attemptEr
 			backoff = backoffDur(c.opts, s.attempts)
 		}
 	}
+	fails := w.consecFails
 	c.mu.Unlock()
+	if c.opts.Logger != nil {
+		// The job key is the worker's X-Bfdnd-Job ID (empty when the attempt
+		// never reached admission): grep it on the worker to see the same
+		// attempt from the other side.
+		c.opts.Logger.Warn("shard retry", "worker", w.url, "lo", s.lo, "hi", s.hi,
+			"job", aerr.job, "outcome", attemptOutcome(aerr), "err", aerr.err)
+		if died {
+			c.opts.Logger.Warn("worker dead", "worker", w.url,
+				"consecFails", fails)
+		}
+	}
 	c.cond.Broadcast()
 	return backoff
 }

@@ -4,8 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
+
+	"bfdn/internal/obs/tracing"
 )
 
 // PointSpec is one serializable point of a distributed sweep: the tree is
@@ -92,6 +95,17 @@ type Options struct {
 	Hedge bool
 	// Metrics, when non-nil, receives the dsweep_* instrument family.
 	Metrics *Metrics
+	// Tracer, when non-nil, records the run as one trace: a dsweep.run root
+	// with probe/partition/merge children and one dsweep.dispatch span per
+	// shard attempt (retries and hedge duplicates appear as siblings). The
+	// trace context is propagated to workers as a traceparent header, so a
+	// traced fleet's worker spans join the coordinator's trace ID.
+	Tracer *tracing.Tracer
+	// Logger, when non-nil, receives per-attempt coordinator records (shard
+	// done/retry/hedge, worker death). Each record carries the worker's
+	// X-Bfdnd-Job ID when one was assigned, so coordinator and worker logs
+	// join on the job key; nil disables logging.
+	Logger *slog.Logger
 	// OnLine, when non-nil, streams each merged line in strict global point
 	// order as soon as it is final. It is called from coordinator
 	// goroutines under the merge lock: keep it fast.
@@ -180,17 +194,32 @@ func Run(ctx context.Context, plan Plan, workers []string, opts Options) ([]Line
 	}
 
 	start := time.Now()
+	// The root span rides ctx from here on: dispatch spans, merge records and
+	// the injected traceparent all descend from it. A nil Tracer yields a nil
+	// span and an unchanged ctx, so the untraced path costs one pointer check.
+	ctx, root := opts.Tracer.Trace(ctx, "dsweep.run", tracing.SpanRef{},
+		tracing.Int("points", len(plan.Points)), tracing.Int("workers", len(workers)))
+	defer root.End()
+
+	probeStart := time.Now()
 	fleet, err := probeFleet(ctx, workers, opts)
+	tracing.Record(ctx, "dsweep.probe", probeStart, time.Now(),
+		tracing.Int("fleet", len(fleet)))
 	if err != nil {
 		return nil, stats, err
 	}
 	stats.Workers = len(fleet)
 
+	partStart := time.Now()
 	shards := partition(len(plan.Points), fleet, opts)
 	stats.Shards = len(shards)
+	tracing.Record(ctx, "dsweep.partition", partStart, time.Now(),
+		tracing.Int("shards", len(shards)))
 
 	c := newCoord(ctx, plan, shards, fleet, opts)
 	lines := c.run(&stats)
 	stats.Elapsed = time.Since(start)
+	root.SetAttr(tracing.Int("shards", stats.Shards), tracing.Int("retries", stats.Retries),
+		tracing.Int("hedges", stats.Hedges), tracing.Int("deadWorkers", stats.DeadWorkers))
 	return lines, stats, c.fatal()
 }

@@ -122,7 +122,14 @@ type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomic.Int64    // 1e-9 fixed point
+
+	// ex holds per-bucket trace exemplars; nil until EnableExemplars
+	// (exemplar.go), so histograms without them pay nothing.
+	ex []atomic.Pointer[Exemplar]
 }
+
+// inf is the overflow bucket's upper bound for exemplar reporting.
+var inf = math.Inf(1)
 
 // NewHistogram builds an unregistered histogram with the given bucket upper
 // bounds, which must be finite and strictly increasing. It panics on invalid
@@ -211,6 +218,7 @@ func (h *Histogram) Merge(src *Histogram) error {
 	if s := src.sum.Load(); s != 0 {
 		h.sum.Add(s)
 	}
+	h.mergeExemplars(src)
 	return nil
 }
 
@@ -348,6 +356,15 @@ func (r *Registry) register(name, help string, k kind, labels []string, bounds [
 	r.families[name] = f
 	r.order = append(r.order, name)
 	return f
+}
+
+// Names returns the registered family names in registration order — the
+// code-side half of the metrics-catalog drift check (internal/opscheck):
+// every name here must appear in OPERATIONS.md and vice versa.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
 }
 
 // Counter registers and returns an unlabeled counter.

@@ -1,0 +1,95 @@
+package tracing
+
+import (
+	"context"
+	"time"
+)
+
+// ctxKey keys the active span in a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sp as the active span. A nil sp returns
+// ctx unchanged.
+func ContextWith(ctx context.Context, sp *ActiveSpan) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the active span carried by ctx, or nil. The nil
+// return is the "tracing off" signal hot paths key their gating off — the
+// lookup itself does not allocate.
+func FromContext(ctx context.Context) *ActiveSpan {
+	sp, _ := ctx.Value(ctxKey{}).(*ActiveSpan)
+	return sp
+}
+
+// Trace starts a trace-root span: a fresh trace ID when parent is zero, a
+// continuation of the propagated trace otherwise (the worker half of
+// Extract). The returned context carries the span for Start below it. A
+// nil tracer returns (ctx, nil) — the uniform off switch.
+func (t *Tracer) Trace(ctx context.Context, name string, parent SpanRef, attrs ...Attr) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	trace, parentSpan := parent.Trace, parent.Span
+	if trace.IsZero() {
+		trace, parentSpan = t.newTraceID(), SpanID{}
+	}
+	sp := t.start(trace, parentSpan, name, attrs)
+	return ContextWith(ctx, sp), sp
+}
+
+// Start starts a child of the span carried by ctx. Without one (tracing
+// off, or an untraced request) it returns (ctx, nil) with no allocation.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *ActiveSpan) {
+	parent := FromContext(ctx)
+	if parent == nil || parent.tracer == nil {
+		return ctx, nil
+	}
+	sp := parent.tracer.start(parent.span.Trace, parent.span.ID, name, attrs)
+	return ContextWith(ctx, sp), sp
+}
+
+// StartBulk is Start gated by the tracer's bulk sampling rate: 1 in
+// Config.SampleEvery calls records a span, the rest return (ctx, nil)
+// without allocating. Per-point sweep spans go through here so that
+// steady-state sweeps stay allocation-free while a slice of points is
+// still visible per trace.
+func StartBulk(ctx context.Context, name string, attrs ...Attr) (context.Context, *ActiveSpan) {
+	parent := FromContext(ctx)
+	if parent == nil || parent.tracer == nil {
+		return ctx, nil
+	}
+	t := parent.tracer
+	if t.bulkSeq.Add(1)%t.sampleEvery != 0 {
+		return ctx, nil
+	}
+	sp := t.start(parent.span.Trace, parent.span.ID, name, attrs)
+	return ContextWith(ctx, sp), sp
+}
+
+// Record emits an already-measured child span of the span in ctx — the
+// form for aggregate phase spans (e.g. the async engine's cumulative
+// claim-validation time) where the interval is computed, not scoped. A
+// context without a span records nothing.
+func Record(ctx context.Context, name string, start, end time.Time, attrs ...Attr) {
+	parent := FromContext(ctx)
+	if parent == nil || parent.tracer == nil {
+		return
+	}
+	t := parent.tracer
+	sp := Span{
+		Trace:  parent.span.Trace,
+		ID:     t.newSpanID(),
+		Parent: parent.span.ID,
+		Name:   name,
+		Start:  start.UnixNano(),
+		End:    end.UnixNano(),
+	}
+	if len(attrs) > 0 {
+		sp.Attrs = append(sp.Attrs, attrs...)
+	}
+	t.record(&sp)
+}

@@ -1,0 +1,71 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// spanRecord is the JSONL wire form of one completed span, the
+// GET /debug/traces line format. Attrs collapse into a flat string map —
+// duplicate keys keep the last value, fine for annotations.
+type spanRecord struct {
+	Trace      string            `json:"trace"`
+	Span       string            `json:"span"`
+	Parent     string            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Start      int64             `json:"startUnixNano"`
+	DurationNs int64             `json:"durationNs"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+func toRecord(sp *Span) spanRecord {
+	rec := spanRecord{
+		Trace:      sp.Trace.String(),
+		Span:       sp.ID.String(),
+		Name:       sp.Name,
+		Start:      sp.Start,
+		DurationNs: sp.End - sp.Start,
+	}
+	if !sp.Parent.IsZero() {
+		rec.Parent = sp.Parent.String()
+	}
+	if len(sp.Attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	return rec
+}
+
+// WriteJSONL writes the retained spans (filtered by trace when non-zero)
+// as one JSON object per line, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer, trace TraceID) error {
+	enc := json.NewEncoder(w)
+	for _, sp := range t.Spans(trace) {
+		if err := enc.Encode(toRecord(&sp)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the ring as JSONL — the GET /debug/traces endpoint. An
+// optional ?trace=<32 hex> query filters to one trace; a malformed filter
+// is a 400.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var trace TraceID
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, ok := ParseTraceID(q)
+			if !ok {
+				http.Error(w, "trace filter must be 32 hex digits", http.StatusBadRequest)
+				return
+			}
+			trace = id
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = t.WriteJSONL(w, trace) // client disconnects are not server errors
+	})
+}

@@ -1,0 +1,98 @@
+package tracing
+
+import (
+	"context"
+	"net/http"
+)
+
+// Header is the W3C Trace Context header carrying span identity between
+// processes: version-traceid-spanid-flags, e.g.
+// 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01.
+const Header = "traceparent"
+
+// Inject writes the span carried by ctx as a traceparent header — the
+// coordinator half of propagation (internal/dsweep/client.go calls it on
+// every shard dispatch). Without a span in ctx it writes nothing.
+func Inject(ctx context.Context, h http.Header) {
+	sp := FromContext(ctx)
+	if sp == nil {
+		return
+	}
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = appendHex(buf, sp.span.Trace[:])
+	buf = append(buf, '-')
+	buf = appendHex(buf, sp.span.ID[:])
+	buf = append(buf, "-01"...)
+	h.Set(Header, string(buf))
+}
+
+// Extract parses an inbound traceparent header into the remote parent ref
+// — the worker half of propagation (bfdnd passes it to Tracer.Trace so the
+// job's spans join the coordinator's trace). Absent or malformed headers
+// yield the zero ref, which Trace treats as "start a fresh trace".
+func Extract(h http.Header) SpanRef {
+	v := h.Get(Header)
+	// version(2)-trace(32)-span(16)-flags(2), all lower-case hex.
+	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return SpanRef{}
+	}
+	if v[0] == 'f' && v[1] == 'f' { // version 0xff is forbidden by the spec
+		return SpanRef{}
+	}
+	if !hexValid(v[0:2]) || !hexValid(v[53:55]) {
+		return SpanRef{}
+	}
+	var ref SpanRef
+	if !parseHex(ref.Trace[:], v[3:35]) || !parseHex(ref.Span[:], v[36:52]) {
+		return SpanRef{}
+	}
+	if ref.Trace.IsZero() || ref.Span.IsZero() {
+		return SpanRef{}
+	}
+	return ref
+}
+
+// ParseTraceID parses 32 lower-case hex digits, the ?trace= filter form of
+// GET /debug/traces. The zero ID and malformed input return false.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 || !parseHex(id[:], s) || id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+func hexValid(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if _, ok := hexNibble(s[i]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func parseHex(dst []byte, s string) bool {
+	if len(s) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexNibble(s[2*i])
+		lo, ok2 := hexNibble(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}

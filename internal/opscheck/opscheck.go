@@ -1,0 +1,54 @@
+// Package opscheck keeps OPERATIONS.md honest: its tests fail when the
+// metric catalog drifts from the instruments the code actually registers —
+// a metric added without documentation, or documentation for a metric that
+// no longer exists. scripts/checkdocs.sh runs these tests in CI; they live
+// in a package (not a shell script) because recorder names are assembled
+// from prefixes at registration time (sweep.NewNamedRecorder), which no
+// grep over source text can resolve.
+package opscheck
+
+import (
+	"os"
+	"regexp"
+	"sort"
+
+	"bfdn/internal/dsweep"
+	"bfdn/internal/obs"
+	"bfdn/internal/server"
+)
+
+// RegisteredMetricNames returns every metric name the system registers: the
+// bfdnd daemon's full registry (admission, request, sim and both sweep
+// recorder families) plus the distributed coordinator's dsweep_* family.
+func RegisteredMetricNames() []string {
+	names := server.MetricNames()
+	reg := obs.NewRegistry()
+	dsweep.NewMetrics(reg)
+	names = append(names, reg.Names()...)
+	sort.Strings(names)
+	return names
+}
+
+// metricToken matches a metric-shaped word: a bfdnd_/dsweep_ name that does
+// not trail off in an underscore (section headers write bare prefixes like
+// "bfdnd_async_sweep_", which name a family, not a metric).
+var metricToken = regexp.MustCompile(`\b(?:bfdnd|dsweep)_[a-z0-9_]*[a-z0-9]`)
+
+// DocMetricNames extracts the set of metric-shaped tokens from the file at
+// path, sorted and deduplicated.
+func DocMetricNames(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, tok := range metricToken.FindAllString(string(data), -1) {
+		if !seen[tok] {
+			seen[tok] = true
+			names = append(names, tok)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,79 @@
+package opscheck
+
+import (
+	"strings"
+	"testing"
+)
+
+const opsPath = "../../OPERATIONS.md"
+
+// TestMetricCatalogMatchesCode is the drift check, both directions: every
+// registered instrument is documented in OPERATIONS.md, and every
+// metric-shaped token in OPERATIONS.md names a registered instrument (or a
+// suffixed series — _count/_sum/_bucket — of one).
+func TestMetricCatalogMatchesCode(t *testing.T) {
+	registered := RegisteredMetricNames()
+	documented, err := DocMetricNames(opsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docSet := map[string]bool{}
+	for _, n := range documented {
+		docSet[n] = true
+	}
+	regSet := map[string]bool{}
+	for _, n := range registered {
+		regSet[n] = true
+	}
+
+	for _, n := range registered {
+		if !docSet[n] {
+			t.Errorf("metric %s is registered but missing from OPERATIONS.md", n)
+		}
+	}
+	for _, n := range documented {
+		if regSet[n] || isSeriesOf(n, regSet) || isFamilyPrefix(n, registered) {
+			continue
+		}
+		t.Errorf("OPERATIONS.md documents %s, which no code registers", n)
+	}
+}
+
+// isFamilyPrefix reports whether token names a metric family rather than one
+// metric: the docs write "the bfdnd_async_sweep_* family" and similar, which
+// scans as a proper prefix of registered names.
+func isFamilyPrefix(token string, registered []string) bool {
+	for _, n := range registered {
+		if strings.HasPrefix(n, token+"_") {
+			return true
+		}
+	}
+	return false
+}
+
+// isSeriesOf reports whether token is a derived series of a registered
+// histogram (name_count, name_sum, name_bucket) rather than a base name.
+func isSeriesOf(token string, regSet map[string]bool) bool {
+	for _, suffix := range []string{"_count", "_sum", "_bucket"} {
+		if base, ok := strings.CutSuffix(token, suffix); ok && regSet[base] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRegisteredNamesAreWellFormed guards the check itself: the registry
+// must be non-trivial (an empty name list would make the catalog test pass
+// vacuously) and every name must match the token shape the doc scan uses —
+// otherwise a registered metric could never be found in the docs.
+func TestRegisteredNamesAreWellFormed(t *testing.T) {
+	names := RegisteredMetricNames()
+	if len(names) < 15 {
+		t.Fatalf("only %d registered metrics — registry construction is broken", len(names))
+	}
+	for _, n := range names {
+		if metricToken.FindString(n) != n {
+			t.Errorf("registered metric %q does not match the catalog token shape", n)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 
@@ -77,7 +78,9 @@ func (s *Server) handleAsyncSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	s.runJob(ctx, w, "asyncsweep", func() {
+	// The job context carries the job span (when tracing is on), so the
+	// pool's worker spans and the async engine's phase spans land under it.
+	s.runJob(ctx, w, r, "asyncsweep", func(ctx context.Context) {
 		// Materialize the grid, sharing one tree across identical specs as
 		// /v1/sweep does (grids routinely reuse one tree across fleets and
 		// latency models, and trees are immutable).

@@ -59,7 +59,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	s.runJob(ctx, w, "explore", func() {
+	// The job context carries the job span (when tracing is on), so the
+	// simulation below it shows up as child spans of this job.
+	s.runJob(ctx, w, r, "explore", func(ctx context.Context) {
 		t, err := s.buildTree(req.Family, req.N, req.Depth, req.TreeSeed, req.Parents)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())

@@ -44,6 +44,14 @@ type metrics struct {
 	asyncSweep *sweep.Recorder
 }
 
+// MetricNames returns the canonical name of every instrument a fresh server
+// registers, in registration order. It exists for the OPERATIONS.md drift
+// check (internal/opscheck, run by scripts/checkdocs.sh): the catalog must
+// list exactly the names the daemon actually exposes.
+func MetricNames() []string {
+	return newMetrics().reg.Names()
+}
+
 func newMetrics() *metrics {
 	reg := obs.NewRegistry()
 	return &metrics{
@@ -129,5 +137,18 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 		"bfdnd_jobs_rejected_total":      s.m.rejected.Value(),
 		"bfdnd_sweep_points_total":       s.m.sweep.PointsTotal.Value(),
 		"bfdnd_async_sweep_points_total": s.m.asyncSweep.PointsTotal.Value(),
+	})
+}
+
+// handleExemplars serves the point-duration histograms' trace exemplars:
+// for each bucket with a traced observation, the most recent one's value
+// and trace ID. It is the bridge from a hot latency bucket on GET /metrics
+// to a concrete trace on GET /debug/traces?trace=<id> — exemplars populate
+// only while a tracer is configured (spans are what carry trace IDs into
+// the engine), so without one the map's lists are empty.
+func (s *Server) handleExemplars(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]obs.Exemplar{
+		"bfdnd_sweep_point_duration_seconds":       s.m.sweep.PointDuration.Exemplars(),
+		"bfdnd_async_sweep_point_duration_seconds": s.m.asyncSweep.PointDuration.Exemplars(),
 	})
 }

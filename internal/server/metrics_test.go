@@ -194,52 +194,69 @@ func TestMetricsPerServerIsolation(t *testing.T) {
 	}
 }
 
-// TestJobLogCarriesID checks the slog records: one job produces correlated
-// start and done lines carrying the same ID the client got in X-Bfdnd-Job.
+// TestJobLogCarriesID checks the slog records on every job endpoint: one job
+// produces correlated start and done lines carrying the same ID the client
+// got in X-Bfdnd-Job. The asyncsweep case pins job-log parity between the
+// synchronous and continuous-time sweep endpoints.
 func TestJobLogCarriesID(t *testing.T) {
-	var buf bytes.Buffer
-	var mu sync.Mutex
-	logger := slog.New(slog.NewJSONHandler(&lockedWriter{w: &buf, mu: &mu}, nil))
-	srv := New(Config{Logger: logger})
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	cases := []struct {
+		endpoint string
+		path     string
+		body     string
+	}{
+		{"explore", "/v1/explore", `{"family":"binary","n":100,"k":3}`},
+		{"sweep", "/v1/sweep",
+			`{"seed":1,"points":[{"family":"binary","n":60,"k":2}]}`},
+		{"asyncsweep", "/v1/asyncsweep",
+			`{"seed":1,"points":[{"family":"binary","n":60,"speeds":[1,1]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.endpoint, func(t *testing.T) {
+			var buf bytes.Buffer
+			var mu sync.Mutex
+			logger := slog.New(slog.NewJSONHandler(&lockedWriter{w: &buf, mu: &mu}, nil))
+			srv := New(Config{Logger: logger})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
 
-	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/explore",
-		`{"family":"binary","n":100,"k":3}`)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("explore: %d %s", resp.StatusCode, data)
-	}
-	hdr := resp.Header.Get("X-Bfdnd-Job")
-	if hdr == "" {
-		t.Fatal("missing X-Bfdnd-Job header")
-	}
-	jobID, err := strconv.ParseUint(hdr, 10, 64)
-	if err != nil {
-		t.Fatalf("X-Bfdnd-Job %q: %v", hdr, err)
-	}
-
-	mu.Lock()
-	logs := buf.String()
-	mu.Unlock()
-	seen := map[string]bool{}
-	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
-		var rec struct {
-			Msg      string `json:"msg"`
-			Job      uint64 `json:"job"`
-			Endpoint string `json:"endpoint"`
-		}
-		if err := json.Unmarshal([]byte(line), &rec); err != nil {
-			t.Fatalf("bad log line %q: %v", line, err)
-		}
-		if rec.Job == jobID {
-			if rec.Endpoint != "explore" {
-				t.Errorf("record %q has endpoint %q", rec.Msg, rec.Endpoint)
+			resp, data := postJSON(t, ts.Client(), ts.URL+tc.path, tc.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: %d %s", tc.endpoint, resp.StatusCode, data)
 			}
-			seen[rec.Msg] = true
-		}
-	}
-	if !seen["job start"] || !seen["job done"] {
-		t.Fatalf("job %d: want correlated start+done records, got %v in:\n%s", jobID, seen, logs)
+			hdr := resp.Header.Get("X-Bfdnd-Job")
+			if hdr == "" {
+				t.Fatal("missing X-Bfdnd-Job header")
+			}
+			jobID, err := strconv.ParseUint(hdr, 10, 64)
+			if err != nil {
+				t.Fatalf("X-Bfdnd-Job %q: %v", hdr, err)
+			}
+
+			mu.Lock()
+			logs := buf.String()
+			mu.Unlock()
+			seen := map[string]bool{}
+			for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+				var rec struct {
+					Msg      string `json:"msg"`
+					Job      uint64 `json:"job"`
+					Endpoint string `json:"endpoint"`
+				}
+				if err := json.Unmarshal([]byte(line), &rec); err != nil {
+					t.Fatalf("bad log line %q: %v", line, err)
+				}
+				if rec.Job == jobID {
+					if rec.Endpoint != tc.endpoint {
+						t.Errorf("record %q has endpoint %q", rec.Msg, rec.Endpoint)
+					}
+					seen[rec.Msg] = true
+				}
+			}
+			if !seen["job start"] || !seen["job done"] {
+				t.Fatalf("job %d: want correlated start+done records, got %v in:\n%s",
+					jobID, seen, logs)
+			}
+		})
 	}
 }
 

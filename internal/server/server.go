@@ -49,11 +49,14 @@ import (
 	"net/http"
 	netpprof "net/http/pprof"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bfdn"
+	"bfdn/internal/obs/tracing"
 )
 
 // Config tunes the daemon. The zero value selects sensible defaults.
@@ -80,6 +83,12 @@ type Config struct {
 	// Logger receives structured job-lifecycle records (admission,
 	// completion, rejection) with per-job IDs; nil discards them.
 	Logger *slog.Logger
+	// Tracer, when non-nil, records distributed-tracing spans for every
+	// job (admission→queue→run, plus engine spans below them), continuing
+	// inbound W3C traceparent headers so a coordinator's trace covers its
+	// workers. The ring is exported on GET /debug/traces; nil disables
+	// tracing at zero cost.
+	Tracer *tracing.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -115,9 +124,11 @@ type Server struct {
 	start time.Time
 
 	// m is the per-Server metrics registry; log receives job-lifecycle
-	// records; jobSeq issues the per-job IDs both carry.
+	// records; tr records spans (nil = tracing off); jobSeq issues the
+	// per-job IDs metrics, logs and spans all carry.
 	m      *metrics
 	log    *slog.Logger
+	tr     *tracing.Tracer
 	jobSeq atomic.Uint64
 
 	// sem holds one token per executing job; queued counts jobs waiting
@@ -151,6 +162,7 @@ func New(cfg Config) *Server {
 	if s.log == nil {
 		s.log = slog.New(discardHandler{})
 	}
+	s.tr = s.cfg.Tracer
 	s.sem = make(chan struct{}, s.cfg.MaxJobs)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
@@ -160,6 +172,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /capacity", s.instrument("capacity", s.handleCapacity))
 	s.mux.Handle("GET /metrics", s.m.reg.Handler())
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/exemplars", s.handleExemplars)
 	s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
@@ -271,15 +285,34 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 
 // runJob funnels every endpoint through the same admission path: drain
 // check, queue-bounded slot acquisition, gauges, the job log, and the test
-// hook. job runs with the slot held. Each admission attempt gets a job ID
-// that is returned in the X-Bfdnd-Job header and stamped on every log
-// record, so one job's admission, start and completion lines correlate.
-func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, endpoint string, job func()) bool {
+// hook. job runs with the slot held, under a context that carries the
+// job's span when tracing is on. Each admission attempt gets a job ID that
+// is returned in the X-Bfdnd-Job header and stamped on every log record,
+// so one job's admission, start and completion lines correlate.
+//
+// With a tracer configured the job becomes a span tree — bfdnd.<endpoint>
+// covering admission to completion, bfdnd.queue for the slot wait,
+// bfdnd.run for the handler body — continuing the caller's trace when the
+// request carries a traceparent header (the dsweep coordinator injects
+// one per shard). The trace ID is attached to every slog record of the
+// job and echoed in the X-Bfdnd-Trace response header, and the job body
+// runs under pprof labels (endpoint, job), so CPU profiles segment by
+// endpoint and job too.
+func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, r *http.Request, endpoint string, job func(context.Context)) bool {
 	jobID := s.jobSeq.Add(1)
+	ctx, jobSpan := s.tr.Trace(ctx, "bfdnd."+endpoint, tracing.Extract(r.Header),
+		tracing.Int64("job", int64(jobID)))
+	defer jobSpan.End()
 	log := s.log.With("job", jobID, "endpoint", endpoint)
+	if jobSpan != nil {
+		ref := jobSpan.Ref()
+		log = log.With("trace", ref.Trace.String(), "span", ref.Span.String())
+		w.Header().Set("X-Bfdnd-Trace", ref.Trace.String())
+	}
 	reject := func(reason string) {
 		s.rejected.Add(1)
 		s.m.rejected.Inc()
+		jobSpan.SetAttr(tracing.String("rejected", reason))
 		log.Warn("job rejected", "reason", reason)
 	}
 	if !s.beginJob() {
@@ -289,7 +322,10 @@ func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, endpoint str
 	}
 	defer s.endJob()
 	admitted := time.Now()
-	if err := s.acquireSlot(ctx); err != nil {
+	_, queueSpan := tracing.Start(ctx, "bfdnd.queue")
+	err := s.acquireSlot(ctx)
+	queueSpan.End()
+	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			reject("queue_full")
 			writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
@@ -314,8 +350,20 @@ func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, endpoint str
 	if s.testJobStart != nil {
 		s.testJobStart()
 	}
-	job()
+	rctx, runSpan := tracing.Start(ctx, "bfdnd.run")
+	defer runSpan.End()
+	pprof.Do(rctx, pprof.Labels("endpoint", endpoint, "job", strconv.FormatUint(jobID, 10)), job)
 	return true
+}
+
+// handleTraces exports the tracer's span ring as JSONL (optionally
+// filtered by ?trace=<32 hex>); 404 when tracing is not configured.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tr == nil {
+		writeError(w, http.StatusNotFound, "tracing is not configured (start bfdnd with -tracebuf > 0)")
+		return
+	}
+	s.tr.Handler().ServeHTTP(w, r)
 }
 
 type healthResponse struct {

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// streamLines splits the recorder's body into its JSONL records.
+func streamLines(rec *httptest.ResponseRecorder) []string {
+	body := strings.TrimSpace(rec.Body.String())
+	if body == "" {
+		return nil
+	}
+	return strings.Split(body, "\n")
+}
+
+// TestOrderedStreamReordersEmits pins the core property: records handed over
+// out of index order come out strictly in index order, each held back until
+// every lower index has been written.
+func TestOrderedStreamReordersEmits(t *testing.T) {
+	rec := httptest.NewRecorder()
+	s := newOrderedStream(rec)
+
+	s.emit(2, "c")
+	s.emit(1, "b")
+	if got := streamLines(rec); got != nil {
+		t.Fatalf("wrote %v before index 0 arrived", got)
+	}
+	s.emit(0, "a")
+	if got := streamLines(rec); len(got) != 3 {
+		t.Fatalf("after index 0: %d lines %v, want 3", len(got), got)
+	}
+	s.emit(3, "d")
+	want := []string{`"a"`, `"b"`, `"c"`, `"d"`}
+	got := streamLines(rec)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOrderedStreamFinish checks the trailing record: finish writes it
+// regardless of gaps, and records still pending behind a skipped index are
+// dropped, not reordered after it.
+func TestOrderedStreamFinish(t *testing.T) {
+	rec := httptest.NewRecorder()
+	s := newOrderedStream(rec)
+
+	s.emit(0, "a")
+	s.emit(2, "c") // index 1 never arrives
+	s.finish("done")
+
+	want := []string{`"a"`, `"done"`}
+	got := streamLines(rec)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOrderedStreamSetsStreamingHeaders checks the header contract:
+// constructing the stream sets the JSONL content type and disables proxy
+// buffering, but nothing is written until the first record.
+func TestOrderedStreamSetsStreamingHeaders(t *testing.T) {
+	rec := httptest.NewRecorder()
+	s := newOrderedStream(rec)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	if ab := rec.Header().Get("X-Accel-Buffering"); ab != "no" {
+		t.Errorf("X-Accel-Buffering = %q, want no", ab)
+	}
+	if rec.Body.Len() != 0 {
+		t.Errorf("constructing the stream wrote %q", rec.Body.String())
+	}
+	s.emit(0, "a")
+	if rec.Body.Len() == 0 {
+		t.Error("first in-order emit wrote nothing")
+	}
+}
+
+// TestOrderedStreamFlushesPerRecord checks that every written record is
+// followed by a flush, the property that makes the stream live rather than
+// buffered until the handler returns.
+func TestOrderedStreamFlushesPerRecord(t *testing.T) {
+	rec := httptest.NewRecorder()
+	fw := &countingFlusher{ResponseRecorder: rec}
+	s := newOrderedStream(fw)
+
+	s.emit(1, "b") // buffered: no write, no flush
+	if fw.flushes != 0 {
+		t.Fatalf("buffered emit flushed %d times", fw.flushes)
+	}
+	s.emit(0, "a") // releases both records
+	if fw.flushes != 2 {
+		t.Errorf("two released records flushed %d times, want 2", fw.flushes)
+	}
+	s.finish("done")
+	if fw.flushes != 3 {
+		t.Errorf("after finish: %d flushes, want 3", fw.flushes)
+	}
+}
+
+// TestOrderedStreamConcurrentEmits hammers the stream from many goroutines
+// (run with -race) and checks the output is still a permutation-free,
+// in-order rendering of all records.
+func TestOrderedStreamConcurrentEmits(t *testing.T) {
+	rec := httptest.NewRecorder()
+	s := newOrderedStream(rec)
+
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.emit(i, i)
+		}(i)
+	}
+	wg.Wait()
+	s.finish(-1)
+
+	got := streamLines(rec)
+	if len(got) != n+1 {
+		t.Fatalf("got %d lines, want %d", len(got), n+1)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != strconv.Itoa(i) {
+			t.Fatalf("line %d = %q, want %q", i, got[i], strconv.Itoa(i))
+		}
+	}
+	if got[n] != "-1" {
+		t.Errorf("trailing line = %q, want -1", got[n])
+	}
+}
+
+// countingFlusher counts Flush calls while delegating writes to the recorder.
+type countingFlusher struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *countingFlusher) Flush() { f.flushes++ }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 
@@ -69,7 +70,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	s.runJob(ctx, w, "sweep", func() {
+	// The job context carries the job span (when tracing is on), so the
+	// engine's sweep.worker/sweep.point spans land under this job.
+	s.runJob(ctx, w, r, "sweep", func(ctx context.Context) {
 		// Materialize the grid. Sweeps routinely reuse one tree spec across
 		// many k values; trees are immutable, so identical specs share one.
 		points := make([]bfdn.SweepPoint, len(req.Points))

@@ -85,7 +85,7 @@ func RunAsyncContext(ctx context.Context, points []AsyncPoint, opt AsyncOptions)
 	stats := runPool(ctx, len(points), opt.Workers, opt.Recorder, func(workers int) {
 		engines = make([]*async.Engine, workers)
 		algs = make([]map[string]async.Algorithm, workers)
-	}, func(wk, i int, canceled bool) bool {
+	}, func(pctx context.Context, wk, i int, canceled bool) bool {
 		if canceled {
 			results[i] = AsyncResult{Point: i, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(i)),
 				Err: fmt.Errorf("sweep: async point %d: %w", i, ctx.Err())}
@@ -93,7 +93,7 @@ func RunAsyncContext(ctx context.Context, points []AsyncPoint, opt AsyncOptions)
 			if algs[wk] == nil {
 				algs[wk] = make(map[string]async.Algorithm)
 			}
-			results[i] = runAsyncPoint(ctx, &engines[wk], algs[wk], points[i], i, opt)
+			results[i] = runAsyncPoint(pctx, &engines[wk], algs[wk], points[i], i, opt)
 		}
 		return results[i].Err != nil
 	}, func(i int) {

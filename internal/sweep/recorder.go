@@ -43,8 +43,11 @@ func NewRecorder(reg *obs.Registry) *Recorder {
 // families on one registry (bfdnd_sweep_* vs bfdnd_async_sweep_*).
 func NewNamedRecorder(reg *obs.Registry, prefix string) *Recorder {
 	return &Recorder{
+		// PointDuration carries trace exemplars: the engine links each
+		// sampled traced point's duration bucket to its trace ID, so a hot
+		// latency bucket names a concrete trace in GET /debug/traces.
 		PointDuration: reg.Histogram(prefix+"_point_duration_seconds",
-			"Wall-clock simulation time per sweep point.", obs.DefDurationBuckets()),
+			"Wall-clock simulation time per sweep point.", obs.DefDurationBuckets()).EnableExemplars(),
 		QueueWait: reg.Histogram(prefix+"_queue_wait_seconds",
 			"Delay between sweep start and point execution start.", obs.DefDurationBuckets()),
 		PointsTotal: reg.Counter(prefix+"_points_total",
@@ -61,7 +64,7 @@ func NewNamedRecorder(reg *obs.Registry, prefix string) *Recorder {
 // into Options.Recorder (when set) after the pool drains.
 func newRunRecorder() *Recorder {
 	return &Recorder{
-		PointDuration: obs.NewHistogram(obs.DefDurationBuckets()),
+		PointDuration: obs.NewHistogram(obs.DefDurationBuckets()).EnableExemplars(),
 		QueueWait:     obs.NewHistogram(obs.DefDurationBuckets()),
 		PointsTotal:   new(obs.Counter),
 		ErrorsTotal:   new(obs.Counter),

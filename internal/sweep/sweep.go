@@ -21,10 +21,13 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"bfdn/internal/obs/tracing"
 	"bfdn/internal/sim"
 	"bfdn/internal/tree"
 )
@@ -158,12 +161,12 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 	stats := runPool(ctx, len(points), opt.Workers, opt.Recorder, func(workers int) {
 		worlds = make([]*sim.World, workers)
 		algs = make([]sim.Algorithm, workers)
-	}, func(wk, i int, canceled bool) bool {
+	}, func(pctx context.Context, wk, i int, canceled bool) bool {
 		if canceled {
 			results[i] = Result{Point: i, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(i)),
 				Err: fmt.Errorf("sweep: point %d: %w", i, ctx.Err())}
 		} else {
-			results[i] = runPoint(ctx, &worlds[wk], &algs[wk], points[i], i, opt)
+			results[i] = runPoint(pctx, &worlds[wk], &algs[wk], points[i], i, opt)
 		}
 		return results[i].Err != nil
 	}, func(i int) {
@@ -185,8 +188,15 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 // init is called once with the effective worker count before any point
 // runs; exec settles point i on worker wk (canceled points settle without
 // running) and reports failure; settle fires after the point is recorded.
+//
+// Workers carry pprof goroutine labels (sweep_worker), so CPU profiles
+// segment by worker. When ctx carries a span (internal/obs/tracing) each
+// worker runs under a sweep.worker child span and points get sampled
+// sweep.point spans whose trace is attached to the point-duration
+// histogram as an exemplar; without one — the steady-state configuration —
+// the per-point cost is a single nil check, no clocks, no allocations.
 func runPool(ctx context.Context, n, workers int, recorder *Recorder,
-	init func(workers int), exec func(wk, i int, canceled bool) bool, settle func(i int)) Stats {
+	init func(workers int), exec func(ctx context.Context, wk, i int, canceled bool) bool, settle func(i int)) Stats {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -204,6 +214,7 @@ func runPool(ctx context.Context, n, workers int, recorder *Recorder,
 	start := time.Now()
 
 	rec := newRunRecorder()
+	traced := tracing.FromContext(ctx) != nil
 	busy := make([]time.Duration, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -211,28 +222,50 @@ func runPool(ctx context.Context, n, workers int, recorder *Recorder,
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
+			wctx := ctx
+			var wsp *tracing.ActiveSpan
+			executed := 0
+			if traced {
+				wctx, wsp = tracing.Start(ctx, "sweep.worker", tracing.Int("worker", wk))
+			}
 			var busyLocal time.Duration
 			defer func() {
 				busy[wk] = busyLocal
 				rec.BusySeconds.AddDuration(busyLocal)
+				if wsp != nil {
+					wsp.SetAttr(tracing.Int("points", executed))
+					wsp.End()
+				}
 			}()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			pprof.Do(wctx, pprof.Labels("sweep_worker", strconv.Itoa(wk)), func(wctx context.Context) {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					if ctx.Err() != nil {
+						failed := exec(wctx, wk, i, true)
+						rec.point(time.Since(start), 0, failed)
+					} else {
+						pctx := wctx
+						var psp *tracing.ActiveSpan
+						if traced {
+							pctx, psp = tracing.StartBulk(wctx, "sweep.point", tracing.Int("point", i))
+						}
+						t0 := time.Now()
+						failed := exec(pctx, wk, i, false)
+						d := time.Since(t0)
+						busyLocal += d
+						executed++
+						rec.point(t0.Sub(start), d, failed)
+						if psp != nil {
+							psp.End()
+							rec.PointDuration.Exemplar(d.Seconds(), psp.Ref().Trace.String())
+						}
+					}
+					settle(i)
 				}
-				if ctx.Err() != nil {
-					failed := exec(wk, i, true)
-					rec.point(time.Since(start), 0, failed)
-				} else {
-					t0 := time.Now()
-					failed := exec(wk, i, false)
-					d := time.Since(t0)
-					busyLocal += d
-					rec.point(t0.Sub(start), d, failed)
-				}
-				settle(i)
-			}
+			})
 		}(wk)
 	}
 	wg.Wait()

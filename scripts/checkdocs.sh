@@ -28,4 +28,13 @@ if [ "$found" -eq 0 ]; then
     exit 1
 fi
 
-echo "all packages documented, benchmark records present"
+# OPERATIONS.md drift check: the metric catalog must list exactly what the
+# code registers, in both directions. The check is a Go test because
+# recorder names are assembled from prefixes at registration time
+# (sweep.NewNamedRecorder), which grep over source text cannot resolve.
+go test -count=1 ./internal/opscheck/ >/dev/null || {
+    echo "OPERATIONS.md metric catalog drifted from the code; run: go test ./internal/opscheck/" >&2
+    exit 1
+}
+
+echo "all packages documented, benchmark records present, metric catalog in sync"
