@@ -176,22 +176,46 @@ type AsyncSweepResult struct {
 	Err    error       `json:"-"`
 }
 
+// asyncEngineConfig is the resolved configuration of one asynchronous sweep
+// invocation, mirroring engineConfig.
+type asyncEngineConfig struct {
+	opt    sweep.AsyncOptions
+	store  *JobStore
+	plan   []byte
+	resume bool
+}
+
 // AsyncEngineOption tunes the engine behind SweepAsync, the continuous-time
 // counterpart of EngineOption.
-type AsyncEngineOption func(*sweep.AsyncOptions)
+type AsyncEngineOption func(*asyncEngineConfig)
 
 // WithAsyncSweepRecorder attaches an engine metrics recorder to an
 // asynchronous sweep; bfdnd wires its bfdnd_async_sweep_* families this way
 // (sweep.NewNamedRecorder keeps them separate from the synchronous ones).
 func WithAsyncSweepRecorder(rec *sweep.Recorder) AsyncEngineOption {
-	return func(o *sweep.AsyncOptions) { o.Recorder = rec }
+	return func(c *asyncEngineConfig) { c.opt.Recorder = rec }
 }
 
 // WithAsyncSeedIndexBase offsets the per-point seed-derivation index, the
 // asynchronous face of WithSeedIndexBase: shards of one logical grid
 // reproduce the unsharded run exactly wherever they execute.
 func WithAsyncSeedIndexBase(base uint64) AsyncEngineOption {
-	return func(o *sweep.AsyncOptions) { o.IndexBase = base }
+	return func(c *asyncEngineConfig) { c.opt.IndexBase = base }
+}
+
+// WithAsyncJobStore makes the asynchronous sweep resumable, the
+// continuous-time face of WithJobStore. Resume granularity is the point:
+// the async engine's pending-event heap holds a live randomness stream that
+// cannot be serialized, so interrupted points re-run whole — completed ones
+// replay from the journal (DESIGN.md S30).
+func WithAsyncJobStore(js *JobStore) AsyncEngineOption {
+	return func(c *asyncEngineConfig) { c.store = js }
+}
+
+// WithAsyncJobStorePlan is WithAsyncJobStore with caller-supplied canonical
+// plan bytes (must be valid JSON), mirroring WithJobStorePlan.
+func WithAsyncJobStorePlan(js *JobStore, plan []byte) AsyncEngineOption {
+	return func(c *asyncEngineConfig) { c.store, c.plan = js, plan }
 }
 
 // SweepAsync executes a grid of independent continuous-time runs on a
@@ -249,26 +273,20 @@ func SweepAsyncStream(ctx context.Context, points []AsyncSweepPoint, workers int
 			Latency:   p.Latency,
 		}
 	}
-	var emit func(sweep.AsyncResult)
+	cfg := asyncEngineConfig{opt: sweep.AsyncOptions{Workers: workers, BaseSeed: uint64(seed)}}
+	for _, eo := range engineOpts {
+		eo(&cfg)
+	}
+	if cfg.store != nil {
+		return runJournaledAsyncSweep(ctx, points, pts, onResult, &cfg)
+	}
 	if onResult != nil {
-		emit = func(r sweep.AsyncResult) {
+		cfg.opt.OnResult = func(r sweep.AsyncResult) {
 			onResult(r.Point, convertAsyncResult(points[r.Point], r))
 		}
 	}
-	opt := sweep.AsyncOptions{Workers: workers, BaseSeed: uint64(seed), OnResult: emit}
-	for _, eo := range engineOpts {
-		eo(&opt)
-	}
-	_, stats := sweep.RunAsyncContext(ctx, pts, opt)
-	return SweepStats{
-		Points:         stats.Points,
-		Workers:        stats.Workers,
-		Elapsed:        stats.Elapsed,
-		PointsPerSec:   stats.PointsPerSec,
-		AllocsPerPoint: stats.AllocsPerPoint,
-		Utilization:    stats.Utilization,
-		Errors:         stats.Errors,
-	}, nil
+	_, stats := sweep.RunAsyncContext(ctx, pts, cfg.opt)
+	return convertSweepStats(stats), nil
 }
 
 // convertAsyncResult maps an engine result to the facade form, attaching

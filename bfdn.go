@@ -191,6 +191,11 @@ type config struct {
 	schedule adversary.Schedule
 	seed     int64
 	progress func(Progress)
+	// Checkpointing (WithCheckpoint): the job store, the snapshot cadence in
+	// committed rounds, and whether the job must already exist (Resume*).
+	store     *JobStore
+	ckptEvery int
+	resume    bool
 }
 
 // defaultConfig is the single source of Explore's defaults; every entry point
@@ -226,6 +231,18 @@ type Progress struct {
 // its bfdnd_sim_* counters this way. The observer runs on the simulating
 // goroutine — keep it to a few atomic updates.
 func WithProgress(f func(Progress)) Option { return func(c *config) { c.progress = f } }
+
+// WithCheckpoint makes the exploration resumable (DESIGN.md S30): the run
+// becomes a content-addressed job in js (identified by the tree, k and the
+// other options), its world + algorithm state is snapshotted atomically
+// every `every` committed rounds (≤ 0 selects 1024), and the final report
+// is journaled so finished jobs replay without simulating. Re-running the
+// same call against the same store resumes from the latest snapshot; the
+// resumed run is byte-identical to an uninterrupted one. Not compatible
+// with WithBreakdowns.
+func WithCheckpoint(js *JobStore, every int) Option {
+	return func(c *config) { c.store, c.ckptEvery = js, every }
+}
 
 // Schedule decides, per round and robot, whether the robot may move (§4.2).
 type Schedule interface {
@@ -314,6 +331,12 @@ func ExploreContext(ctx context.Context, t *Tree, k int, opts ...Option) (*Repor
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.store != nil {
+		if cfg.schedule != nil {
+			return nil, fmt.Errorf("bfdn: checkpointed explorations do not support break-down schedules")
+		}
+		return exploreCheckpointed(ctx, t, k, cfg)
 	}
 	if cfg.schedule != nil {
 		return exploreWithBreakdowns(ctx, t, k, cfg)
@@ -563,9 +586,18 @@ type SweepStats struct {
 	Errors int `json:"errors"`
 }
 
+// engineConfig is the resolved configuration of one sweep invocation: the
+// engine options plus the optional job-store attachment (DESIGN.md S30).
+type engineConfig struct {
+	opt    sweep.Options
+	store  *JobStore
+	plan   []byte
+	resume bool
+}
+
 // EngineOption tunes the sweep engine behind Sweep/SweepContext/SweepStream.
 // Unlike Option these act on the execution machinery, not the algorithm.
-type EngineOption func(*sweep.Options)
+type EngineOption func(*engineConfig)
 
 // WithSweepRecorder attaches an engine metrics recorder to a sweep: point
 // latency and queue-wait histograms plus monotonic totals, merged into the
@@ -574,7 +606,7 @@ type EngineOption func(*sweep.Options)
 // Only in-module callers can construct a *sweep.Recorder (the package is
 // internal); external consumers read the same numbers from GET /metrics.
 func WithSweepRecorder(rec *sweep.Recorder) EngineOption {
-	return func(o *sweep.Options) { o.Recorder = rec }
+	return func(c *engineConfig) { c.opt.Recorder = rec }
 }
 
 // WithSeedIndexBase offsets the index used for per-point seed derivation:
@@ -584,7 +616,27 @@ func WithSweepRecorder(rec *sweep.Recorder) EngineOption {
 // identical to the unsharded run wherever the shard executes. The bfdnd
 // sweep endpoint exposes this as the request's indexBase field.
 func WithSeedIndexBase(base uint64) EngineOption {
-	return func(o *sweep.Options) { o.IndexBase = base }
+	return func(c *engineConfig) { c.opt.IndexBase = base }
+}
+
+// WithJobStore makes the sweep resumable (DESIGN.md S30): the sweep becomes
+// a content-addressed job in js (identified by its points, seed, and index
+// base), every completed point is journaled to the job's WAL before it is
+// delivered, and re-running the same sweep against the same store replays
+// the journaled points and executes only the missing ones — each with its
+// original global seed index, so the combined output is byte-identical to
+// an uninterrupted run. Failed points are not journaled; they re-run on
+// resume.
+func WithJobStore(js *JobStore) EngineOption {
+	return func(c *engineConfig) { c.store = js }
+}
+
+// WithJobStorePlan is WithJobStore with caller-supplied canonical plan
+// bytes (must be valid JSON). The bfdnd daemon passes its re-marshaled
+// request body so job identity is stable across processes and survives
+// facade-internal changes to the default fingerprint.
+func WithJobStorePlan(js *JobStore, plan []byte) EngineOption {
+	return func(c *engineConfig) { c.store, c.plan = js, plan }
 }
 
 // Sweep executes a grid of independent exploration runs on a sharded worker
@@ -650,17 +702,24 @@ func SweepStream(ctx context.Context, points []SweepPoint, workers int, seed int
 			},
 			ResetAlgorithm: recycleHook(cfg)}
 	}
-	var emit func(sweep.Result)
+	cfg := engineConfig{opt: sweep.Options{Workers: workers, BaseSeed: uint64(seed)}}
+	for _, eo := range engineOpts {
+		eo(&cfg)
+	}
+	if cfg.store != nil {
+		return runJournaledSweep(ctx, points, pts, pointBounds, onResult, &cfg)
+	}
 	if onResult != nil {
-		emit = func(r sweep.Result) {
+		cfg.opt.OnResult = func(r sweep.Result) {
 			onResult(r.Point, convertSweepResult(points[r.Point], pointBounds[r.Point], r))
 		}
 	}
-	opt := sweep.Options{Workers: workers, BaseSeed: uint64(seed), OnResult: emit}
-	for _, eo := range engineOpts {
-		eo(&opt)
-	}
-	_, stats := sweep.RunContext(ctx, pts, opt)
+	_, stats := sweep.RunContext(ctx, pts, cfg.opt)
+	return convertSweepStats(stats), nil
+}
+
+// convertSweepStats maps engine stats to the facade form.
+func convertSweepStats(stats sweep.Stats) SweepStats {
 	return SweepStats{
 		Points:         stats.Points,
 		Workers:        stats.Workers,
@@ -669,7 +728,7 @@ func SweepStream(ctx context.Context, points []SweepPoint, workers int, seed int
 		AllocsPerPoint: stats.AllocsPerPoint,
 		Utilization:    stats.Utilization,
 		Errors:         stats.Errors,
-	}, nil
+	}
 }
 
 // recycleHook selects the sweep factory-reset hook for cfg's algorithm, so

@@ -16,6 +16,10 @@
 //	POST /v1/sweep     a (algorithm × tree × k) grid, streamed as JSONL
 //	POST /v1/asyncsweep  a continuous-time (tree × fleet × algorithm ×
 //	                   latency) grid on the async engine, streamed as JSONL
+//	POST /v1/resume    re-drive a stored sweep job from its journal (-store)
+//	GET  /v1/jobs      list the persistent job store (-store)
+//	POST /v1/register  worker heartbeat into the fleet registry (-registry)
+//	GET  /v1/workers   live fleet listing from the registry (-registry)
 //	GET  /healthz      liveness + load snapshot (503 while draining)
 //	GET  /capacity     admission limits + load, for distributed coordinators
 //	GET  /metrics      Prometheus text exposition (bfdnd_*)
@@ -37,7 +41,13 @@
 // Several bfdnd instances form a sweep fleet: the distributed coordinator
 // (bfdn.SweepDistributed, or experiments -workers) reads each instance's
 // GET /capacity, shards a sweep across the fleet, and merges the streams
-// back into one byte-identical JSONL. OPERATIONS.md is the fleet runbook.
+// back into one byte-identical JSONL. With -registry one instance hosts the
+// fleet roster instead, workers announce themselves into it (-announce
+// -advertise), and coordinators read GET /v1/workers in place of a static
+// worker list. With -store the daemon journals every sweep into a persistent
+// job store, so a crashed or interrupted job resumes from its journal
+// (POST /v1/resume, or simply resubmitting the identical request) instead of
+// recomputing. OPERATIONS.md is the fleet runbook; §6 covers crash recovery.
 package main
 
 import (
@@ -52,6 +62,8 @@ import (
 	"syscall"
 	"time"
 
+	"bfdn"
+	"bfdn/internal/dsweep"
 	"bfdn/internal/obs/tracing"
 	"bfdn/internal/server"
 )
@@ -77,6 +89,11 @@ func run() error {
 		logJSON      = flag.Bool("logjson", false, "emit structured logs as JSON lines (default: text)")
 		traceBuf     = flag.Int("tracebuf", 0, "span ring-buffer capacity; 0 disables tracing")
 		traceSample  = flag.Int("tracesample", 64, "record 1 in N per-point spans inside traced sweeps")
+		storeDir     = flag.String("store", "", "persistent job store directory; empty disables /v1/resume and /v1/jobs")
+		registry     = flag.Bool("registry", false, "host the fleet registry (/v1/register, /v1/workers) on this daemon")
+		registryTTL  = flag.Duration("registry-ttl", 15*time.Second, "worker lease TTL for the hosted registry")
+		announce     = flag.String("announce", "", "registry base URL to heartbeat this worker into (needs -advertise)")
+		advertise    = flag.String("advertise", "", "externally reachable base URL of this daemon, gossiped to peers")
 	)
 	flag.Parse()
 	if *jobs < 0 || *sweepWorkers < 0 {
@@ -102,6 +119,21 @@ func run() error {
 		tracer = tracing.New(tracing.Config{Capacity: *traceBuf, SampleEvery: *traceSample})
 	}
 
+	var store *bfdn.JobStore
+	if *storeDir != "" {
+		var err error
+		if store, err = bfdn.OpenJobStore(*storeDir); err != nil {
+			return fmt.Errorf("open job store: %w", err)
+		}
+	}
+	var reg *dsweep.Registry
+	if *registry {
+		reg = dsweep.NewRegistry(*registryTTL)
+	}
+	if *announce != "" && *advertise == "" {
+		return errors.New("-announce needs -advertise (the URL peers reach this daemon at)")
+	}
+
 	srv := server.New(server.Config{
 		MaxJobs:        *jobs,
 		QueueDepth:     *queue,
@@ -112,6 +144,8 @@ func run() error {
 		MaxPoints:      *maxPoints,
 		Logger:         logger,
 		Tracer:         tracer,
+		Store:          store,
+		Registry:       reg,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -121,6 +155,14 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *announce != "" {
+		// The heartbeat loop keeps this worker's lease alive in the remote
+		// registry and merges the registry's fleet view back, so every
+		// announcing worker converges on the same roster.
+		go dsweep.Announce(ctx, http.DefaultClient, *announce, *advertise, reg, *registryTTL/3)
+		logger.Info("announcing", "registry", *announce, "advertise", *advertise)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

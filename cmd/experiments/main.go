@@ -24,6 +24,14 @@
 //
 //	experiments -workers http://a:8080,http://b:8080           # distribute
 //	experiments -workers http://a:8080 -scale 4 -hedge         # hedged tail
+//	experiments -registry http://reg:8080 -store ./jobs        # live fleet,
+//	                                                           # resumable
+//
+// With -registry the fleet is fetched live from a bfdnd registry's
+// GET /v1/workers instead of being listed by hand; with -store the
+// coordinator journals the run into a persistent job store, so rerunning the
+// identical command after a crash replays finished shards from disk and
+// dispatches only the remainder (OPERATIONS.md §6).
 //
 // -workers is incompatible with -sweepworkers: remote daemons size their own
 // engine pools, so combining the two flags is rejected.
@@ -44,6 +52,7 @@ import (
 	"sync"
 
 	"bfdn"
+	"bfdn/internal/dsweep"
 	"bfdn/internal/exp"
 	"bfdn/internal/obs"
 	"bfdn/internal/obs/tracing"
@@ -69,6 +78,8 @@ func run() error {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 		fleet      = flag.String("workers", "", "comma-separated bfdnd base URLs: run a distributed sweep benchmark instead of the suite")
+		registry   = flag.String("registry", "", "bfdnd registry base URL: fetch the live fleet from GET /v1/workers instead of -workers")
+		store      = flag.String("store", "", "with -workers/-registry: journal the run into this job store directory so a crashed coordinator resumes instead of recomputing")
 		hedge      = flag.Bool("hedge", false, "with -workers: hedge straggler tail shards on idle workers")
 		traceOut   = flag.String("trace", "", `with -workers: dump the coordinator's spans as JSONL to this file ("-" = stderr)`)
 	)
@@ -88,11 +99,23 @@ func run() error {
 			sweepworkersSet = true
 		}
 	})
-	if err := validateDistFlags(*fleet, sweepworkersSet, *hedge); err != nil {
+	if err := validateDistFlags(*fleet, *registry, *store, sweepworkersSet, *hedge); err != nil {
 		return err
 	}
-	if *fleet != "" {
-		return runDistributed(strings.Split(*fleet, ","), *scale, *seed, *hedge, *traceOut)
+	if *fleet != "" || *registry != "" {
+		var urls []string
+		if *fleet != "" {
+			urls = strings.Split(*fleet, ",")
+		} else {
+			var err error
+			if urls, err = dsweep.FetchWorkers(context.Background(), nil, *registry); err != nil {
+				return err
+			}
+			if len(urls) == 0 {
+				return fmt.Errorf("registry %s reports an empty fleet (workers announce with bfdnd -announce %s -advertise <their-url>)", *registry, *registry)
+			}
+		}
+		return runDistributed(urls, *scale, *seed, *hedge, *traceOut, *store)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -178,18 +201,24 @@ func run() error {
 }
 
 // validateDistFlags rejects flag combinations that silently do nothing:
-// -sweepworkers tunes the local engine, which a -workers run never starts
-// (remote daemons size their own pools), and -hedge only means anything with
-// a fleet to hedge across.
-func validateDistFlags(fleet string, sweepworkersSet, hedge bool) error {
-	if fleet == "" {
+// -sweepworkers tunes the local engine, which a distributed run never starts
+// (remote daemons size their own pools), -hedge and -store only mean anything
+// with a fleet, and -workers/-registry are two sources for the same list.
+func validateDistFlags(fleet, registry, store string, sweepworkersSet, hedge bool) error {
+	if fleet != "" && registry != "" {
+		return fmt.Errorf("-workers and -registry both name the fleet: use one (a static list, or a registry to fetch it from)")
+	}
+	if fleet == "" && registry == "" {
 		if hedge {
-			return fmt.Errorf("-hedge requires -workers (it hedges shards across a fleet)")
+			return fmt.Errorf("-hedge requires -workers or -registry (it hedges shards across a fleet)")
+		}
+		if store != "" {
+			return fmt.Errorf("-store requires -workers or -registry (it journals a distributed run; local suite runs are not journaled)")
 		}
 		return nil
 	}
 	if sweepworkersSet {
-		return fmt.Errorf("-sweepworkers cannot be combined with -workers: remote bfdnd instances size their own sweep pools (set -sweepworkers on each daemon instead)")
+		return fmt.Errorf("-sweepworkers cannot be combined with a distributed run: remote bfdnd instances size their own sweep pools (set -sweepworkers on each daemon instead)")
 	}
 	return nil
 }
@@ -223,7 +252,7 @@ func distGrid(scale int) []bfdn.SweepSpec {
 // every in-flight worker request. With traceOut set, the coordinator records
 // the run as one trace (dispatch/retry/hedge spans, traceparent propagated
 // to the workers) and dumps its spans as JSONL when the run ends.
-func runDistributed(urls []string, scale int, seed int64, hedge bool, traceOut string) error {
+func runDistributed(urls []string, scale int, seed int64, hedge bool, traceOut, storeDir string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -241,6 +270,16 @@ func runDistributed(urls []string, scale int, seed int64, hedge bool, traceOut s
 	if hedge {
 		opts = append(opts, bfdn.WithDistHedging())
 	}
+	if storeDir != "" {
+		// The journal keys off the content-addressed plan, so resuming after
+		// a crash is just rerunning the identical command: finished shards
+		// replay from disk, the rest dispatch to whatever fleet is up now.
+		js, err := bfdn.OpenJobStore(storeDir)
+		if err != nil {
+			return fmt.Errorf("open job store: %w", err)
+		}
+		opts = append(opts, bfdn.WithDistStore(js))
+	}
 	var tracer *tracing.Tracer
 	if traceOut != "" {
 		tracer = tracing.New(tracing.Config{})
@@ -254,6 +293,9 @@ func runDistributed(urls []string, scale int, seed int64, hedge bool, traceOut s
 		return fmt.Errorf("write output: %w", encErr)
 	}
 	fmt.Fprintln(os.Stderr, "distributed sweep:", stats)
+	if stats.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "resumed: %d of %d points replayed from the journal\n", stats.Replayed, stats.Points)
+	}
 	if tracer != nil {
 		if err := dumpTrace(tracer, traceOut); err != nil {
 			return err

@@ -9,6 +9,8 @@ func TestValidateDistFlags(t *testing.T) {
 	cases := []struct {
 		name            string
 		fleet           string
+		registry        string
+		store           string
 		sweepworkersSet bool
 		hedge           bool
 		wantErr         string
@@ -17,18 +19,33 @@ func TestValidateDistFlags(t *testing.T) {
 		{name: "suite run with sweepworkers", fleet: "", sweepworkersSet: true},
 		{name: "fleet run", fleet: "http://a:8080,http://b:8080"},
 		{name: "fleet run with hedge", fleet: "http://a:8080", hedge: true},
+		{name: "registry run", registry: "http://reg:8080"},
+		{name: "registry run with store", registry: "http://reg:8080", store: "./jobs"},
+		{name: "fleet run with store", fleet: "http://a:8080", store: "./jobs"},
 		{
 			name: "fleet plus sweepworkers is rejected", fleet: "http://a:8080",
-			sweepworkersSet: true, wantErr: "-sweepworkers cannot be combined with -workers",
+			sweepworkersSet: true, wantErr: "-sweepworkers cannot be combined with a distributed run",
+		},
+		{
+			name: "registry plus sweepworkers is rejected", registry: "http://reg:8080",
+			sweepworkersSet: true, wantErr: "-sweepworkers cannot be combined with a distributed run",
+		},
+		{
+			name: "fleet plus registry is rejected", fleet: "http://a:8080",
+			registry: "http://reg:8080", wantErr: "-workers and -registry both name the fleet",
 		},
 		{
 			name: "hedge without fleet is rejected", hedge: true,
-			wantErr: "-hedge requires -workers",
+			wantErr: "-hedge requires -workers or -registry",
+		},
+		{
+			name: "store without fleet is rejected", store: "./jobs",
+			wantErr: "-store requires -workers or -registry",
 		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateDistFlags(tc.fleet, tc.sweepworkersSet, tc.hedge)
+			err := validateDistFlags(tc.fleet, tc.registry, tc.store, tc.sweepworkersSet, tc.hedge)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

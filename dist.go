@@ -55,6 +55,9 @@ type DistStats struct {
 	Failovers   int
 	Hedges      int
 	DeadWorkers int
+	// Replayed counts points answered from the coordinator's journal
+	// (WithDistStore) instead of dispatched to the fleet.
+	Replayed int
 	// Elapsed is the wall-clock duration; ShardsByWorker is how many shards
 	// each worker base URL completed.
 	Elapsed        time.Duration
@@ -140,6 +143,20 @@ func WithDistLogger(l *slog.Logger) DistOption {
 	return func(o *dsweep.Options) { o.Logger = l }
 }
 
+// WithDistStore journals the run into a persistent job store, keyed by the
+// content-addressed plan: the shard cut and every completed shard's lines are
+// written durably before they are merged, so a coordinator that crashes
+// mid-sweep resumes by rerunning the identical command — journaled shards
+// replay from disk (DistStats.Replayed) and only unfinished ones are
+// dispatched, with the merged output byte-identical to an uninterrupted run.
+func WithDistStore(js *JobStore) DistOption {
+	return func(o *dsweep.Options) {
+		if js != nil {
+			o.Store = js.Store()
+		}
+	}
+}
+
 // specsToPlan converts the public spec grid to the coordinator's wire plan.
 func specsToPlan(specs []SweepSpec, seed int64) dsweep.Plan {
 	plan := dsweep.Plan{Seed: seed, Points: make([]dsweep.PointSpec, len(specs))}
@@ -181,7 +198,7 @@ func SweepDistributed(ctx context.Context, specs []SweepSpec, workers []string, 
 	return out, DistStats{
 		Points: stats.Points, Shards: stats.Shards, Workers: stats.Workers,
 		Retries: stats.Retries, Failovers: stats.Failovers, Hedges: stats.Hedges,
-		DeadWorkers: stats.DeadWorkers, Elapsed: stats.Elapsed,
+		DeadWorkers: stats.DeadWorkers, Replayed: stats.Replayed, Elapsed: stats.Elapsed,
 		ShardsByWorker: stats.ShardsByWorker,
 	}, err
 }

@@ -1,0 +1,32 @@
+package cte
+
+import (
+	"fmt"
+
+	"bfdn/internal/snap"
+)
+
+// SnapshotState implements sim.Snapshotter (DESIGN.md S30). CTE's only
+// cross-round memory is the per-subtree open-edge counts and the seeding
+// flag; the grouping and target buffers are rebuilt from the view every
+// round and are skipped.
+func (c *CTE) SnapshotState(e *snap.Encoder) {
+	e.Int(c.k)
+	e.Bool(c.seeded)
+	e.Int32s(c.open.vals)
+}
+
+// RestoreState implements sim.Snapshotter; c must have been constructed (or
+// Reset) for the snapshot's robot count.
+func (c *CTE) RestoreState(d *snap.Decoder) error {
+	k := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if k != c.k {
+		return fmt.Errorf("cte: snapshot is for k=%d, instance has k=%d", k, c.k)
+	}
+	c.seeded = d.Bool()
+	c.open.vals = append(c.open.vals[:0], d.Int32s()...)
+	return d.Err()
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"bfdn/internal/jobstore"
 	"bfdn/internal/obs/tracing"
 )
 
@@ -40,6 +41,13 @@ type shard struct {
 // dead worker's load — capped by Options.MaxShardPoints and by the smallest
 // maxPoints any worker advertises.
 func partition(n int, fleet []*workerState, opts Options) []*shard {
+	return cutShards(n, shardSize(n, fleet, opts))
+}
+
+// shardSize picks the shard size for n points against the probed fleet (see
+// partition). Resumable runs journal this size and reuse it on resume, so
+// the cut stays a pure function of the plan even if the fleet changes.
+func shardSize(n int, fleet []*workerState, opts Options) int {
 	slots, minMax := 0, 0
 	for _, w := range fleet {
 		slots += w.conc
@@ -57,6 +65,11 @@ func partition(n int, fleet []*workerState, opts Options) []*shard {
 	if size < 1 {
 		size = 1
 	}
+	return size
+}
+
+// cutShards tiles [0,n) into contiguous shards of the given size.
+func cutShards(n, size int) []*shard {
 	shards := make([]*shard, 0, (n+size-1)/size)
 	for lo := 0; lo < n; lo += size {
 		shards = append(shards, &shard{lo: lo, hi: min(lo+size, n),
@@ -75,6 +88,9 @@ type coord struct {
 	fleet  []*workerState
 	shards []*shard
 	merge  *merger
+	// job, when non-nil, is the run's persistent journal: every winning
+	// shard is appended (and fsynced) before its lines reach the merger.
+	job *jobstore.Job
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -89,12 +105,20 @@ type coord struct {
 
 func newCoord(ctx context.Context, plan Plan, shards []*shard, fleet []*workerState, opts Options) *coord {
 	cctx, cancel := context.WithCancel(ctx)
+	// Shards already marked done (replayed from a resumed job's journal)
+	// never enter the queue; only the rest count toward completion.
+	queue := make([]*shard, 0, len(shards))
+	for _, s := range shards {
+		if !s.done {
+			queue = append(queue, s)
+		}
+	}
 	c := &coord{
 		ctx: cctx, cancel: cancel, plan: plan, opts: opts,
 		fleet: fleet, shards: shards,
 		merge:     newMerger(opts.OnLine, opts.Metrics),
-		queue:     append([]*shard(nil), shards...),
-		remaining: len(shards),
+		queue:     queue,
+		remaining: len(queue),
 		live:      len(fleet),
 		shardsBy:  map[string]int{},
 	}
@@ -327,6 +351,19 @@ func (c *coord) complete(w *workerState, s *shard, lines []Line, aerr *attemptEr
 		s.cancels = nil
 		c.mu.Unlock()
 		c.opts.Metrics.shard(w.url, "ok", elapsed)
+		// Journal before merge: once a line is visible to OnLine it must be
+		// durable, or a crash after emission could resume with a hole. The
+		// append fsyncs; failure to journal is fatal for the run (delivering
+		// unjournaled lines would break the invariant).
+		if c.job != nil {
+			if err := c.job.Append(shardRecord{T: "shard", Lo: s.lo, Lines: lines}); err != nil {
+				c.mu.Lock()
+				c.failLocked(fmt.Errorf("dsweep: journal shard [%d,%d): %w", s.lo, s.hi, err))
+				c.mu.Unlock()
+				c.cond.Broadcast()
+				return 0
+			}
+		}
 		// Merging outside the coordinator lock keeps a slow OnLine callback
 		// from stalling dispatch; the merger has its own ordering lock.
 		mergeStart := time.Now()

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"bfdn/internal/jobstore"
 	"bfdn/internal/obs/tracing"
 )
 
@@ -110,6 +111,16 @@ type Options struct {
 	// order as soon as it is final. It is called from coordinator
 	// goroutines under the merge lock: keep it fast.
 	OnLine func(Line)
+	// Store, when non-nil, makes the run resumable (DESIGN.md S30): the job
+	// is keyed by the content hash of the plan, the shard cut is journaled
+	// before any dispatch, and every winning shard's lines are journaled
+	// durably before the merger emits them — so a coordinator killed at any
+	// instant can be restarted with the same plan and Store and resume from
+	// the journal. Replayed lines stream through OnLine exactly like live
+	// ones, in the same strict order, and the merged output stays
+	// byte-identical to an uninterrupted run; a job already marked done is
+	// answered entirely from the journal without contacting any worker.
+	Store *jobstore.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -164,6 +175,9 @@ type Stats struct {
 	Failovers   int
 	Hedges      int
 	DeadWorkers int
+	// Replayed counts points answered from the job store's journal instead
+	// of being dispatched (always 0 without Options.Store).
+	Replayed int
 	// Elapsed is the wall-clock duration; ShardsByWorker is the number of
 	// shards each worker completed (winning copy only).
 	Elapsed        time.Duration
@@ -189,6 +203,35 @@ func Run(ctx context.Context, plan Plan, workers []string, opts Options) ([]Line
 	if len(plan.Points) == 0 {
 		return nil, stats, nil
 	}
+
+	// With a Store, open the content-addressed job and replay its journal
+	// before touching the fleet: a done job is answered entirely from disk,
+	// a partial one pre-seeds the merger below.
+	var job *jobstore.Job
+	var journaled map[int][]Line
+	cutSize := 0
+	if opts.Store != nil {
+		var err error
+		if job, err = openJob(opts.Store, plan); err != nil {
+			return nil, stats, err
+		}
+		if cutSize, journaled, err = replayJob(job, len(plan.Points)); err != nil {
+			return nil, stats, err
+		}
+		if job.IsDone() {
+			lines, err := journaledLines(job, journaled, len(plan.Points), cutSize)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Replayed = len(lines)
+			if opts.OnLine != nil {
+				for _, l := range lines {
+					opts.OnLine(l)
+				}
+			}
+			return lines, stats, nil
+		}
+	}
 	if len(workers) == 0 {
 		return nil, stats, fmt.Errorf("dsweep: no workers given")
 	}
@@ -210,16 +253,48 @@ func Run(ctx context.Context, plan Plan, workers []string, opts Options) ([]Line
 	}
 	stats.Workers = len(fleet)
 
+	// A resumed run reuses the journaled shard size — the cut must be a pure
+	// function of the plan once journaled, or shard boundaries would drift
+	// from the WAL ranges whenever the fleet changed between runs. A fresh
+	// run computes the size from the fleet and journals it before dispatch.
 	partStart := time.Now()
-	shards := partition(len(plan.Points), fleet, opts)
+	size := cutSize
+	if size == 0 {
+		size = shardSize(len(plan.Points), fleet, opts)
+		if job != nil {
+			if err := job.Append(cutRecord{T: "cut", Size: size}); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	shards := cutShards(len(plan.Points), size)
 	stats.Shards = len(shards)
+	if job != nil {
+		if err := matchJournal(job, shards, journaled); err != nil {
+			return nil, stats, err
+		}
+	}
 	tracing.Record(ctx, "dsweep.partition", partStart, time.Now(),
 		tracing.Int("shards", len(shards)))
 
 	c := newCoord(ctx, plan, shards, fleet, opts)
+	c.job = job
+	// Pre-deliver the journaled shards: the merger buffers and re-emits them
+	// in strict point order, so OnLine observers cannot tell a replayed line
+	// from a live one.
+	for _, s := range shards {
+		if s.done {
+			c.merge.deliver(s.lo, journaled[s.lo])
+			stats.Replayed += s.hi - s.lo
+		}
+	}
 	lines := c.run(&stats)
 	stats.Elapsed = time.Since(start)
 	root.SetAttr(tracing.Int("shards", stats.Shards), tracing.Int("retries", stats.Retries),
 		tracing.Int("hedges", stats.Hedges), tracing.Int("deadWorkers", stats.DeadWorkers))
-	return lines, stats, c.fatal()
+	err = c.fatal()
+	if err == nil && job != nil {
+		err = job.MarkDone()
+	}
+	return lines, stats, err
 }

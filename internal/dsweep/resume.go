@@ -1,0 +1,133 @@
+package dsweep
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"bfdn/internal/jobstore"
+)
+
+// The coordinator's WAL records (DESIGN.md S30). A resumable run journals
+// exactly two record shapes, both tagged by "t":
+//
+//   - cut — written once, before any dispatch: the shard size the plan was
+//     partitioned with. A resumed run reuses this size instead of
+//     recomputing it against the (possibly different) current fleet, so
+//     shard boundaries always match the journaled ranges.
+//   - shard — one winning shard's merged lines, journaled durably BEFORE
+//     the merger emits them: any line an OnLine observer has seen is
+//     already on disk, so a crash can never un-emit output.
+type cutRecord struct {
+	T    string `json:"t"`
+	Size int    `json:"size"`
+}
+
+type shardRecord struct {
+	T     string `json:"t"`
+	Lo    int    `json:"lo"`
+	Lines []Line `json:"lines"`
+}
+
+// openJob opens (or creates) the content-addressed job for plan: the plan's
+// canonical JSON is the identity, so resubmitting the same plan IS resuming
+// the same job.
+func openJob(store *jobstore.Store, plan Plan) (*jobstore.Job, error) {
+	planBytes, err := json.Marshal(plan)
+	if err != nil {
+		return nil, fmt.Errorf("dsweep: marshal plan: %w", err)
+	}
+	job, _, err := store.OpenOrCreate("dsweep", planBytes)
+	return job, err
+}
+
+// replayJob reads the job's WAL back: the persisted shard size (0 when the
+// previous run crashed before partitioning) and each journaled shard's lines
+// keyed by its lo. Line indices inside every shard are validated here; size
+// agreement is validated by the caller once the cut is known.
+func replayJob(job *jobstore.Job, points int) (int, map[int][]Line, error) {
+	recs, err := job.Replay()
+	if err != nil {
+		return 0, nil, err
+	}
+	size := 0
+	shards := map[int][]Line{}
+	for i, raw := range recs {
+		var rec struct {
+			T     string `json:"t"`
+			Size  int    `json:"size"`
+			Lo    int    `json:"lo"`
+			Lines []Line `json:"lines"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return 0, nil, fmt.Errorf("dsweep: job %s: WAL record %d: %w", job.ID(), i, err)
+		}
+		switch rec.T {
+		case "cut":
+			if rec.Size < 1 || size != 0 && rec.Size != size {
+				return 0, nil, fmt.Errorf("dsweep: job %s: WAL record %d: invalid shard size %d", job.ID(), i, rec.Size)
+			}
+			size = rec.Size
+		case "shard":
+			if rec.Lo < 0 || rec.Lo >= points {
+				return 0, nil, fmt.Errorf("dsweep: job %s: WAL record %d: shard lo %d outside plan of %d points", job.ID(), i, rec.Lo, points)
+			}
+			for n, l := range rec.Lines {
+				if l.Point != rec.Lo+n {
+					return 0, nil, fmt.Errorf("dsweep: job %s: WAL record %d: line %d has point %d, want %d", job.ID(), i, n, l.Point, rec.Lo+n)
+				}
+			}
+			shards[rec.Lo] = rec.Lines
+		default:
+			return 0, nil, fmt.Errorf("dsweep: job %s: WAL record %d: unknown type %q", job.ID(), i, rec.T)
+		}
+	}
+	if size == 0 && len(shards) > 0 {
+		return 0, nil, fmt.Errorf("dsweep: job %s: WAL has shard records but no cut record", job.ID())
+	}
+	return size, shards, nil
+}
+
+// matchJournal marks every shard of the fresh cut whose lines are already
+// journaled as done, verifying each journaled range lines up with a shard
+// boundary — a mismatch means the WAL and the cut disagree (the
+// stale-checkpoint taxonomy row of OPERATIONS.md) and the job is unusable.
+func matchJournal(job *jobstore.Job, shards []*shard, journaled map[int][]Line) error {
+	matched := 0
+	for _, s := range shards {
+		lines, ok := journaled[s.lo]
+		if !ok {
+			continue
+		}
+		if len(lines) != s.hi-s.lo {
+			return fmt.Errorf("dsweep: job %s: journaled shard at %d has %d lines, cut expects %d",
+				job.ID(), s.lo, len(lines), s.hi-s.lo)
+		}
+		s.done = true
+		matched++
+	}
+	if matched != len(journaled) {
+		return fmt.Errorf("dsweep: job %s: %d journaled shards do not align with the cut", job.ID(), len(journaled)-matched)
+	}
+	return nil
+}
+
+// journaledLines reassembles a done job's full output from its journal, in
+// strict point order — the replay path that answers a completed plan without
+// touching the fleet.
+func journaledLines(job *jobstore.Job, journaled map[int][]Line, points, size int) ([]Line, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("dsweep: job %s is marked done but its WAL has no cut record", job.ID())
+	}
+	lines := make([]Line, 0, points)
+	for lo := 0; lo < points; lo += size {
+		ls, ok := journaled[lo]
+		if !ok {
+			return nil, fmt.Errorf("dsweep: job %s is marked done but shard at %d is missing from the WAL", job.ID(), lo)
+		}
+		lines = append(lines, ls...)
+	}
+	if len(lines) != points {
+		return nil, fmt.Errorf("dsweep: job %s is marked done but the WAL holds %d/%d points", job.ID(), len(lines), points)
+	}
+	return lines, nil
+}

@@ -1,0 +1,82 @@
+package levelwise
+
+import (
+	"fmt"
+
+	"bfdn/internal/snap"
+	"bfdn/internal/tree"
+)
+
+// SnapshotState implements sim.Snapshotter (DESIGN.md S30). The open-node
+// bookkeeping is serialized in openList order — the order lazy cleanup and
+// the phase sort observe — and openCount rides along as a parallel array,
+// so the restored instance compacts and sorts exactly the slice the
+// original would have. Per-robot phase plans (remaining descent path, the
+// node to explore, the trip home) are stored verbatim; inList is derivable
+// (it is the openList membership set) and rebuilt on restore.
+func (l *Levelwise) SnapshotState(e *snap.Encoder) {
+	e.Int(l.k)
+	e.Bool(l.seeded)
+	e.Int(l.Phases)
+	e.Int(len(l.openList))
+	for _, node := range l.openList {
+		e.Int32(int32(node))
+		e.Int(l.openCount[node])
+	}
+	for i := range l.plans {
+		p := &l.plans[i]
+		e.Int(len(p.down))
+		for _, u := range p.down {
+			e.Int32(int32(u))
+		}
+		e.Int32(int32(p.explore))
+		e.Int(p.up)
+	}
+}
+
+// RestoreState implements sim.Snapshotter; l must have been constructed for
+// the snapshot's robot count.
+func (l *Levelwise) RestoreState(d *snap.Decoder) error {
+	k := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if k != l.k {
+		return fmt.Errorf("levelwise: snapshot is for k=%d, instance has k=%d", k, l.k)
+	}
+	l.seeded = d.Bool()
+	l.Phases = d.Int()
+	n := d.Int()
+	if d.Err() != nil || n < 0 {
+		return fmt.Errorf("levelwise: corrupt open-list length %d", n)
+	}
+	l.openList = l.openList[:0]
+	l.openCount = make(map[tree.NodeID]int, n)
+	l.inList = make(map[tree.NodeID]bool, n)
+	for i := 0; i < n; i++ {
+		node := tree.NodeID(d.Int32())
+		count := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		l.openList = append(l.openList, node)
+		l.inList[node] = true
+		if count > 0 {
+			l.openCount[node] = count
+		}
+	}
+	for i := range l.plans {
+		p := &l.plans[i]
+		m := d.Int()
+		if d.Err() != nil || m < 0 {
+			return fmt.Errorf("levelwise: corrupt plan for robot %d", i)
+		}
+		p.down = p.down[:0]
+		for j := 0; j < m; j++ {
+			p.down = append(p.down, tree.NodeID(d.Int32()))
+		}
+		p.explore = tree.NodeID(d.Int32())
+		p.up = d.Int()
+	}
+	return d.Err()
+}

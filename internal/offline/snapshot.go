@@ -1,0 +1,11 @@
+package offline
+
+import "bfdn/internal/snap"
+
+// SnapshotState implements sim.Snapshotter (DESIGN.md S30). Online DFS is
+// stateless — every round is decided from the view alone — so its
+// checkpoint is empty by construction.
+func (DFS) SnapshotState(*snap.Encoder) {}
+
+// RestoreState implements sim.Snapshotter; there is nothing to restore.
+func (DFS) RestoreState(*snap.Decoder) error { return nil }

@@ -62,6 +62,53 @@ func isSeriesOf(token string, regSet map[string]bool) bool {
 	return false
 }
 
+// TestEndpointCatalogMatchesCode is the endpoint drift check, both
+// directions: every route the daemon registers appears in OPERATIONS.md, and
+// every endpoint-shaped token in OPERATIONS.md names a route the daemon
+// still serves — a runbook step that curls an endpoint which no longer
+// exists is exactly the kind of rot this catches.
+func TestEndpointCatalogMatchesCode(t *testing.T) {
+	registered := RegisteredEndpoints()
+	documented, err := DocEndpoints(opsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docSet := map[string]bool{}
+	for _, e := range documented {
+		docSet[e] = true
+	}
+	regSet := map[string]bool{}
+	for _, e := range registered {
+		regSet[e] = true
+	}
+
+	for _, e := range registered {
+		if !docSet[e] {
+			t.Errorf("endpoint %s is served but missing from OPERATIONS.md", e)
+		}
+	}
+	for _, e := range documented {
+		if !regSet[e] {
+			t.Errorf("OPERATIONS.md documents %s, which the server no longer serves", e)
+		}
+	}
+}
+
+// TestRegisteredEndpointsAreWellFormed guards the endpoint check the same
+// way: a non-trivial route table whose every pattern matches the token shape
+// the doc scan uses.
+func TestRegisteredEndpointsAreWellFormed(t *testing.T) {
+	eps := RegisteredEndpoints()
+	if len(eps) < 10 {
+		t.Fatalf("only %d registered endpoints — route catalog construction is broken", len(eps))
+	}
+	for _, e := range eps {
+		if endpointToken.FindString(e) != e {
+			t.Errorf("registered endpoint %q does not match the catalog token shape", e)
+		}
+	}
+}
+
 // TestRegisteredNamesAreWellFormed guards the check itself: the registry
 // must be non-trivial (an empty name list would make the catalog test pass
 // vacuously) and every name must match the token shape the doc scan uses —

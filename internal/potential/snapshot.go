@@ -1,0 +1,33 @@
+package potential
+
+import (
+	"fmt"
+
+	"bfdn/internal/snap"
+)
+
+// SnapshotState implements sim.Snapshotter (DESIGN.md S30). The Potential
+// Function Method is memoryless beyond the per-subtree open-edge counts it
+// maintains from explore events (the potential of arXiv:2311.01354 is a
+// function of those counts alone), so that and the seeding flag are the
+// whole checkpoint; the move buffer is rewritten every round.
+func (p *Potential) SnapshotState(e *snap.Encoder) {
+	e.Int(p.k)
+	e.Bool(p.seeded)
+	e.Int32s(p.open.vals)
+}
+
+// RestoreState implements sim.Snapshotter; p must have been constructed (or
+// Reset) for the snapshot's robot count.
+func (p *Potential) RestoreState(d *snap.Decoder) error {
+	k := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if k != p.k {
+		return fmt.Errorf("potential: snapshot is for k=%d, instance has k=%d", k, p.k)
+	}
+	p.seeded = d.Bool()
+	p.open.vals = append(p.open.vals[:0], d.Int32s()...)
+	return d.Err()
+}

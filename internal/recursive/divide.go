@@ -37,8 +37,17 @@ type divideDepth struct {
 	childDepth int // s^(level−1)
 
 	// travel state: per traveling robot, the remaining path (popped from the
-	// end); robots with empty paths idle until the phase flips.
-	plans map[int][]tree.NodeID
+	// end); robots with empty paths idle until the phase flips. Kept sorted
+	// by robot id so travel moves and slid-anchor emission are deterministic
+	// (a map here would make ActiveAnchors order depend on iteration order).
+	plans []travelPlan
+}
+
+// travelPlan is one robot's remaining walk to its team root, reversed so
+// hops pop from the end.
+type travelPlan struct {
+	robot int
+	path  []tree.NodeID
 }
 
 var _ Anchored = (*divideDepth)(nil)
@@ -57,7 +66,6 @@ func newDivideDepth(level int, robots []int, root tree.NodeID, s, kstar int) *di
 		robots:     robots,
 		root:       root,
 		childDepth: cd,
-		plans:      make(map[int][]tree.NodeID),
 	}
 }
 
@@ -178,7 +186,7 @@ func (d *divideDepth) formTeams(v *sim.View, roots []tree.NodeID, residents []Ro
 			free = append(free, r)
 		}
 	}
-	d.plans = make(map[int][]tree.NodeID)
+	d.plans = d.plans[:0]
 	d.children = d.children[:0]
 	for _, root := range roots {
 		team := teams[root]
@@ -193,18 +201,19 @@ func (d *divideDepth) formTeams(v *sim.View, roots []tree.NodeID, residents []Ro
 		rootDepth := v.DepthOf(root)
 		for _, r := range team {
 			if pos := v.Pos(r); pos != root && ancestorAtDepth(v, pos, rootDepth) != root {
-				d.plans[r] = pathBetween(v, pos, root)
+				d.plans = append(d.plans, travelPlan{robot: r, path: pathBetween(v, pos, root)})
 			}
 		}
 		d.children = append(d.children, buildLevel(d.level-1, team, root, d.s, d.kstar))
 	}
+	sort.Slice(d.plans, func(i, j int) bool { return d.plans[i].robot < d.plans[j].robot })
 	d.phase = phaseTravel
 }
 
 // travelDone reports whether all travel plans are exhausted.
 func (d *divideDepth) travelDone() bool {
-	for _, p := range d.plans {
-		if len(p) > 0 {
+	for i := range d.plans {
+		if len(d.plans[i].path) > 0 {
 			return false
 		}
 	}
@@ -214,16 +223,17 @@ func (d *divideDepth) travelDone() bool {
 // stepTravel advances every traveling robot one hop.
 func (d *divideDepth) stepTravel(v *sim.View, moves []sim.Move) {
 	d.stayAll(v, moves)
-	for r, p := range d.plans {
-		if len(p) == 0 {
+	for i := range d.plans {
+		p := &d.plans[i]
+		if len(p.path) == 0 {
 			continue
 		}
-		next := p[len(p)-1]
-		d.plans[r] = p[:len(p)-1]
-		if next == v.Parent(v.Pos(r)) {
-			moves[r] = sim.Move{Kind: sim.Up}
+		next := p.path[len(p.path)-1]
+		p.path = p.path[:len(p.path)-1]
+		if next == v.Parent(v.Pos(p.robot)) {
+			moves[p.robot] = sim.Move{Kind: sim.Up}
 		} else {
-			moves[r] = sim.Move{Kind: sim.Down, Child: next}
+			moves[p.robot] = sim.Move{Kind: sim.Down, Child: next}
 		}
 	}
 }
@@ -268,8 +278,8 @@ func (d *divideDepth) childActive(v *sim.View) int {
 	for _, c := range d.children {
 		n += c.ActiveCount(v)
 	}
-	for _, p := range d.plans {
-		if len(p) > 0 {
+	for i := range d.plans {
+		if len(d.plans[i].path) > 0 {
 			n++
 		}
 	}
@@ -311,9 +321,10 @@ func (d *divideDepth) ActiveAnchors(v *sim.View, out []RobotAnchor) []RobotAncho
 		out = c.ActiveAnchors(v, out)
 	}
 	limitAbs := v.DepthOf(d.root) + d.iter*d.childDepth
-	for r, p := range d.plans {
-		if len(p) > 0 {
-			out = append(out, RobotAnchor{Robot: r, Anchor: ancestorAtDepth(v, v.Pos(r), limitAbs)})
+	for i := range d.plans {
+		p := &d.plans[i]
+		if len(p.path) > 0 {
+			out = append(out, RobotAnchor{Robot: p.robot, Anchor: ancestorAtDepth(v, v.Pos(p.robot), limitAbs)})
 		}
 	}
 	return out

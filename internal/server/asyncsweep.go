@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 
@@ -81,70 +82,96 @@ func (s *Server) handleAsyncSweep(w http.ResponseWriter, r *http.Request) {
 	// The job context carries the job span (when tracing is on), so the
 	// pool's worker spans and the async engine's phase spans land under it.
 	s.runJob(ctx, w, r, "asyncsweep", func(ctx context.Context) {
-		// Materialize the grid, sharing one tree across identical specs as
-		// /v1/sweep does (grids routinely reuse one tree across fleets and
-		// latency models, and trees are immutable).
-		points := make([]bfdn.AsyncSweepPoint, len(req.Points))
-		type treeKey struct {
-			family   string
-			n, depth int
-			seed     int64
+		s.asyncSweepJob(ctx, w, req, false)
+	})
+}
+
+// asyncSweepJob is the body of an asynchronous sweep job, shared between
+// POST /v1/asyncsweep and the asyncsweep arm of POST /v1/resume. It runs
+// with the execution slot held.
+func (s *Server) asyncSweepJob(ctx context.Context, w http.ResponseWriter, req asyncSweepRequest, resume bool) {
+	// Materialize the grid, sharing one tree across identical specs as
+	// /v1/sweep does (grids routinely reuse one tree across fleets and
+	// latency models, and trees are immutable).
+	points := make([]bfdn.AsyncSweepPoint, len(req.Points))
+	type treeKey struct {
+		family   string
+		n, depth int
+		seed     int64
+	}
+	trees := make(map[treeKey]*bfdn.Tree)
+	for i, p := range req.Points {
+		if len(p.Speeds) == 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("point %d: need at least one robot speed", i))
+			return
 		}
-		trees := make(map[treeKey]*bfdn.Tree)
-		for i, p := range req.Points {
-			if len(p.Speeds) == 0 {
-				writeError(w, http.StatusBadRequest,
-					fmt.Sprintf("point %d: need at least one robot speed", i))
-				return
-			}
-			alg, err := bfdn.ParseAsyncAlgorithm(p.Algorithm)
+		alg, err := bfdn.ParseAsyncAlgorithm(p.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
+			return
+		}
+		key := treeKey{p.Family, p.N, p.Depth, p.TreeSeed}
+		t, ok := trees[key]
+		if !ok {
+			t, err = s.buildTree(p.Family, p.N, p.Depth, p.TreeSeed, nil)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
 				return
 			}
-			key := treeKey{p.Family, p.N, p.Depth, p.TreeSeed}
-			t, ok := trees[key]
-			if !ok {
-				t, err = s.buildTree(p.Family, p.N, p.Depth, p.TreeSeed, nil)
-				if err != nil {
-					writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
-					return
-				}
-				trees[key] = t
-			}
-			points[i] = bfdn.AsyncSweepPoint{Tree: t, Speeds: p.Speeds, Algorithm: alg, Latency: p.Latency}
+			trees[key] = t
 		}
+		points[i] = bfdn.AsyncSweepPoint{Tree: t, Speeds: p.Speeds, Algorithm: alg, Latency: p.Latency}
+	}
 
-		// Lines are emitted strictly in point order (orderedStream), so the
-		// stream is byte-identical at any SweepWorkers setting — the headers
-		// set here only flush on the first body write, leaving room for the
-		// clean 400 below when SweepAsyncStream rejects a latency spec.
-		stream := newOrderedStream(w)
-		emit := func(i int, res bfdn.AsyncSweepResult) {
-			line := asyncSweepLine{Point: i}
-			if res.Err != nil {
-				line.Error = res.Err.Error()
-			} else {
-				rep := res.Report
-				line.Report = &rep
-			}
-			stream.emit(i, line)
-		}
-
-		// The named recorder folds this sweep's signals into the
-		// bfdnd_async_sweep_* families, leaving the synchronous bfdnd_sweep_*
-		// families untouched.
-		stats, err := bfdn.SweepAsyncStream(ctx, points, s.cfg.SweepWorkers, req.Seed, emit,
-			bfdn.WithAsyncSweepRecorder(s.m.asyncSweep), bfdn.WithAsyncSeedIndexBase(uint64(req.IndexBase)))
+	// The named recorder folds this sweep's signals into the
+	// bfdnd_async_sweep_* families, leaving the synchronous bfdnd_sweep_*
+	// families untouched.
+	opts := []bfdn.AsyncEngineOption{
+		bfdn.WithAsyncSweepRecorder(s.m.asyncSweep),
+		bfdn.WithAsyncSeedIndexBase(uint64(req.IndexBase)),
+	}
+	if s.cfg.Store != nil {
+		plan, err := json.Marshal(asyncSweepPlan{Seed: req.Seed, IndexBase: req.IndexBase, Points: req.Points})
 		if err != nil {
-			// SweepAsyncStream validates every point before running anything,
-			// so on error no line has been written and the status is still
-			// ours.
-			w.Header().Del("X-Accel-Buffering")
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		stream.finish(asyncSweepLine{Point: -1, Done: true, Points: stats.Points,
-			PointsPerSec: stats.PointsPerSec, Workers: stats.Workers})
-	})
+		opts = append(opts, bfdn.WithAsyncJobStorePlan(s.cfg.Store, plan))
+	}
+
+	// Lines are emitted strictly in point order (orderedStream), so the
+	// stream is byte-identical at any SweepWorkers setting — the headers
+	// set here only flush on the first body write, leaving room for the
+	// clean 400 below when SweepAsyncStream rejects a latency spec.
+	stream := newOrderedStream(w)
+	emit := func(i int, res bfdn.AsyncSweepResult) {
+		line := asyncSweepLine{Point: i}
+		if res.Err != nil {
+			line.Error = res.Err.Error()
+		} else {
+			rep := res.Report
+			line.Report = &rep
+		}
+		stream.emit(i, line)
+	}
+
+	run := bfdn.SweepAsyncStream
+	if resume {
+		run = bfdn.ResumeSweepAsyncStream
+	}
+	stats, err := run(ctx, points, s.cfg.SweepWorkers, req.Seed, emit, opts...)
+	if err != nil {
+		// SweepAsyncStream validates every point before running anything,
+		// so on error no line has been written and the status is still
+		// ours.
+		w.Header().Del("X-Accel-Buffering")
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.cfg.Store != nil && stats.Points < len(points) {
+		s.m.jsReplayed.Add(uint64(len(points) - stats.Points))
+	}
+	stream.finish(asyncSweepLine{Point: -1, Done: true, Points: stats.Points,
+		PointsPerSec: stats.PointsPerSec, Workers: stats.Workers})
 }

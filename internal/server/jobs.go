@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"bfdn"
+)
+
+// sweepPlan is the canonical job-identity form of a sweep request: the
+// re-marshaled fields that determine the run's output, in fixed order, with
+// the timeout excluded (operational, not identity). The bytes of
+// json.Marshal(sweepPlan{...}) are hashed into the job ID and stored
+// verbatim in the job manifest, so POST /v1/resume can reconstruct the
+// request from the manifest alone — and so job identity is stable across
+// processes and bfdnd restarts.
+type sweepPlan struct {
+	Seed      int64            `json:"seed"`
+	IndexBase int64            `json:"indexBase"`
+	Points    []sweepPointSpec `json:"points"`
+}
+
+// asyncSweepPlan is sweepPlan's continuous-time sibling.
+type asyncSweepPlan struct {
+	Seed      int64                 `json:"seed"`
+	IndexBase int64                 `json:"indexBase"`
+	Points    []asyncSweepPointSpec `json:"points"`
+}
+
+// jobsResponse is the GET /v1/jobs body.
+type jobsResponse struct {
+	Jobs []bfdn.JobInfo `json:"jobs"`
+}
+
+// handleJobs lists the persistent job store: one row per job with its
+// content-addressed ID, kind, done flag and journal length.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound, "job store is not configured (start bfdnd with -store)")
+		return
+	}
+	jobs, err := s.cfg.Store.Jobs()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if jobs == nil {
+		jobs = []bfdn.JobInfo{}
+	}
+	writeJSON(w, http.StatusOK, jobsResponse{Jobs: jobs})
+}
+
+// resumeRequest is the POST /v1/resume body: the job to resume (an ID from
+// GET /v1/jobs), plus an optional timeout for the resumed run.
+type resumeRequest struct {
+	Job       string `json:"job"`
+	TimeoutMS int64  `json:"timeoutMs"`
+}
+
+// handleResume re-drives a stored sweep job from its journal: points already
+// journaled stream back immediately, the rest are simulated and journaled,
+// and the combined stream is byte-identical to an uninterrupted run of the
+// original request (the crash-recovery procedure of OPERATIONS.md §6).
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound, "job store is not configured (start bfdnd with -store)")
+		return
+	}
+	var req resumeRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Job == "" {
+		writeError(w, http.StatusBadRequest, "need a job ID (see GET /v1/jobs)")
+		return
+	}
+	job, err := s.cfg.Store.Store().Get(req.Job)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+
+	// The manifest's plan bytes reconstruct the original request. A strict
+	// decode rejects manifests this daemon cannot re-drive — facade-created
+	// jobs whose plan is an opaque fingerprint, or kinds (explore, dsweep)
+	// that resume through the facade or the coordinator instead.
+	switch job.Kind() {
+	case "sweep":
+		var plan sweepPlan
+		if err := decodePlan(job.Plan(), &plan); err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("job %s has no resumable plan (%v); only jobs created over HTTP can resume here", req.Job, err))
+			return
+		}
+		sreq := sweepRequest{Seed: plan.Seed, IndexBase: plan.IndexBase, TimeoutMS: req.TimeoutMS, Points: plan.Points}
+		ctx, cancel := s.requestContext(r, req.TimeoutMS)
+		defer cancel()
+		s.runJob(ctx, w, r, "resume", func(ctx context.Context) {
+			s.m.jsResumes.Inc()
+			s.sweepJob(ctx, w, sreq, true)
+		})
+	case "asyncsweep":
+		var plan asyncSweepPlan
+		if err := decodePlan(job.Plan(), &plan); err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("job %s has no resumable plan (%v); only jobs created over HTTP can resume here", req.Job, err))
+			return
+		}
+		areq := asyncSweepRequest{Seed: plan.Seed, IndexBase: plan.IndexBase, TimeoutMS: req.TimeoutMS, Points: plan.Points}
+		ctx, cancel := s.requestContext(r, req.TimeoutMS)
+		defer cancel()
+		s.runJob(ctx, w, r, "resume", func(ctx context.Context) {
+			s.m.jsResumes.Inc()
+			s.asyncSweepJob(ctx, w, areq, true)
+		})
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("job %s has kind %q: explore jobs resume through the bfdn facade (ResumeExplore) and dsweep jobs through the coordinator, not over HTTP", req.Job, job.Kind()))
+	}
+}
+
+// decodePlan strictly decodes a manifest's plan bytes: unknown fields mean
+// the plan was not written by this daemon's canonical re-marshal.
+func decodePlan(plan []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(plan))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// handleRegister and handleWorkers expose the fleet registry when one is
+// configured: workers heartbeat here (POST /v1/register) and coordinators
+// read the live fleet (GET /v1/workers) instead of being handed a static
+// -workers list.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Registry == nil {
+		writeError(w, http.StatusNotFound, "fleet registry is not configured (start bfdnd with -registry)")
+		return
+	}
+	s.cfg.Registry.ServeRegister(w, r)
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Registry == nil {
+		writeError(w, http.StatusNotFound, "fleet registry is not configured (start bfdnd with -registry)")
+		return
+	}
+	s.cfg.Registry.ServeWorkers(w, r)
+}

@@ -34,6 +34,16 @@ type metrics struct {
 	simRounds   *obs.Counter
 	simExplored *obs.Counter
 
+	// Jobstore durability and resume counters (bfdnd_jobstore_*). The first
+	// two tick from the store's hooks (one per fsynced WAL append, one per
+	// atomic snapshot replacement); the last two tick from the sweep
+	// handlers (resume requests accepted, points answered from a journal
+	// instead of re-simulated). All four stay zero without Config.Store.
+	jsAppends   *obs.Counter
+	jsSnapshots *obs.Counter
+	jsResumes   *obs.Counter
+	jsReplayed  *obs.Counter
+
 	// sweep is the engine recorder (bfdnd_sweep_*): point latency and
 	// queue-wait histograms plus monotonic totals, merged in atomically per
 	// completed sweep so concurrent sweeps never clobber each other.
@@ -71,6 +81,14 @@ func newMetrics() *metrics {
 			"Simulation rounds executed by /v1/explore jobs."),
 		simExplored: reg.Counter("bfdnd_sim_explored_nodes_total",
 			"Nodes explored by /v1/explore jobs."),
+		jsAppends: reg.Counter("bfdnd_jobstore_wal_appends_total",
+			"Durable (fsynced) WAL record appends across all jobs in the job store."),
+		jsSnapshots: reg.Counter("bfdnd_jobstore_snapshots_total",
+			"Atomic checkpoint snapshot replacements across all jobs in the job store."),
+		jsResumes: reg.Counter("bfdnd_jobstore_resumes_total",
+			"Resume requests accepted by POST /v1/resume."),
+		jsReplayed: reg.Counter("bfdnd_jobstore_replayed_points_total",
+			"Sweep points answered from a job's journal instead of being re-simulated."),
 		sweep:      sweep.NewRecorder(reg),
 		asyncSweep: sweep.NewNamedRecorder(reg, "bfdnd_async_sweep"),
 	}

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"bfdn"
+	"bfdn/internal/dsweep"
 	"bfdn/internal/obs/tracing"
 )
 
@@ -89,6 +90,18 @@ type Config struct {
 	// workers. The ring is exported on GET /debug/traces; nil disables
 	// tracing at zero cost.
 	Tracer *tracing.Tracer
+	// Store, when non-nil, makes sweep jobs persistent and resumable
+	// (DESIGN.md S30): /v1/sweep and /v1/asyncsweep journal completed points
+	// under a content-addressed job ID, GET /v1/jobs lists the store, and
+	// POST /v1/resume re-drives an interrupted job from its journal. The
+	// store's durability hooks feed the bfdnd_jobstore_* counters. Nil
+	// disables the persistence endpoints (they answer 404).
+	Store *bfdn.JobStore
+	// Registry, when non-nil, hosts the fleet-membership endpoints (POST
+	// /v1/register, GET /v1/workers) that replace static worker lists: every
+	// bfdnd can carry the gossip-converged view of the live fleet. Nil
+	// disables them (404).
+	Registry *dsweep.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +135,10 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	start time.Time
+	// endpoints records every route registered through route(), in
+	// registration order — the served surface the OPERATIONS.md endpoint
+	// drift check compares against the documented one.
+	endpoints []string
 
 	// m is the per-Server metrics registry; log receives job-lifecycle
 	// records; tr records spans (nil = tracing off); jobSeq issues the
@@ -164,22 +181,52 @@ func New(cfg Config) *Server {
 	}
 	s.tr = s.cfg.Tracer
 	s.sem = make(chan struct{}, s.cfg.MaxJobs)
+	if s.cfg.Store != nil {
+		// Durability hooks drive the bfdnd_jobstore_* counters: one tick per
+		// fsynced WAL append and per atomic snapshot replacement.
+		s.cfg.Store.Store().SetHooks(s.m.jsAppends.Inc, s.m.jsSnapshots.Inc)
+	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
-	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
-	s.mux.HandleFunc("POST /v1/asyncsweep", s.instrument("asyncsweep", s.handleAsyncSweep))
-	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /capacity", s.instrument("capacity", s.handleCapacity))
-	s.mux.Handle("GET /metrics", s.m.reg.Handler())
-	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
-	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
-	s.mux.HandleFunc("GET /debug/exemplars", s.handleExemplars)
-	s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+	s.route("POST /v1/explore", s.instrument("explore", s.handleExplore))
+	s.route("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.route("POST /v1/asyncsweep", s.instrument("asyncsweep", s.handleAsyncSweep))
+	s.route("POST /v1/resume", s.instrument("resume", s.handleResume))
+	s.route("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
+	s.route("POST /v1/register", s.instrument("register", s.handleRegister))
+	s.route("GET /v1/workers", s.instrument("workers", s.handleWorkers))
+	s.route("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.route("GET /capacity", s.instrument("capacity", s.handleCapacity))
+	s.routeHandler("GET /metrics", s.m.reg.Handler())
+	s.route("GET /debug/vars", s.handleVars)
+	s.route("GET /debug/traces", s.handleTraces)
+	s.route("GET /debug/exemplars", s.handleExemplars)
+	// The pprof index route stands in for the whole /debug/pprof/ family in
+	// the endpoint catalog; the sub-routes below are stdlib plumbing.
+	s.route("GET /debug/pprof/", netpprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
 	return s
+}
+
+// route registers pattern in the mux and in the served-endpoint catalog.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.routeHandler(pattern, h)
+}
+
+func (s *Server) routeHandler(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+	s.endpoints = append(s.endpoints, pattern)
+}
+
+// Endpoints returns the daemon's HTTP surface as "METHOD /path" patterns in
+// registration order (pprof sub-routes are summarized by their index route).
+// It is the source of truth for the OPERATIONS.md endpoint drift check
+// (internal/opscheck, run by scripts/checkdocs.sh): the runbook must
+// document exactly the endpoints the daemon serves.
+func Endpoints() []string {
+	return New(Config{}).endpoints
 }
 
 // discardHandler is the nil-Config.Logger sink (log/slog gained a stock one

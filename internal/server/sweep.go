@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 
@@ -73,68 +74,99 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// The job context carries the job span (when tracing is on), so the
 	// engine's sweep.worker/sweep.point spans land under this job.
 	s.runJob(ctx, w, r, "sweep", func(ctx context.Context) {
-		// Materialize the grid. Sweeps routinely reuse one tree spec across
-		// many k values; trees are immutable, so identical specs share one.
-		points := make([]bfdn.SweepPoint, len(req.Points))
-		type treeKey struct {
-			family   string
-			n, depth int
-			seed     int64
+		s.sweepJob(ctx, w, req, false)
+	})
+}
+
+// sweepJob is the body of a sweep job, shared between POST /v1/sweep and the
+// sweep arm of POST /v1/resume (which reconstructs req from a stored plan
+// and sets resume). It runs with the execution slot held.
+func (s *Server) sweepJob(ctx context.Context, w http.ResponseWriter, req sweepRequest, resume bool) {
+	// Materialize the grid. Sweeps routinely reuse one tree spec across
+	// many k values; trees are immutable, so identical specs share one.
+	points := make([]bfdn.SweepPoint, len(req.Points))
+	type treeKey struct {
+		family   string
+		n, depth int
+		seed     int64
+	}
+	trees := make(map[treeKey]*bfdn.Tree)
+	for i, p := range req.Points {
+		if p.K < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: need k ≥ 1", i))
+			return
 		}
-		trees := make(map[treeKey]*bfdn.Tree)
-		for i, p := range req.Points {
-			if p.K < 1 {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: need k ≥ 1", i))
-				return
-			}
-			alg, err := bfdn.ParseAlgorithm(p.Algorithm)
+		alg, err := bfdn.ParseAlgorithm(p.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
+			return
+		}
+		key := treeKey{p.Family, p.N, p.Depth, p.TreeSeed}
+		t, ok := trees[key]
+		if !ok {
+			t, err = s.buildTree(p.Family, p.N, p.Depth, p.TreeSeed, nil)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
 				return
 			}
-			key := treeKey{p.Family, p.N, p.Depth, p.TreeSeed}
-			t, ok := trees[key]
-			if !ok {
-				t, err = s.buildTree(p.Family, p.N, p.Depth, p.TreeSeed, nil)
-				if err != nil {
-					writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
-					return
-				}
-				trees[key] = t
-			}
-			points[i] = bfdn.SweepPoint{Tree: t, K: p.K, Algorithm: alg, Ell: p.Ell}
+			trees[key] = t
 		}
+		points[i] = bfdn.SweepPoint{Tree: t, K: p.K, Algorithm: alg, Ell: p.Ell}
+	}
 
-		// The stream emits lines strictly in point order (orderedStream), so
-		// the response is byte-identical at any worker count. Headers are set
-		// now but only flushed on the first body write, so a validation
-		// failure inside SweepStream (before any point has run) can still
-		// turn into a clean 400 below.
-		stream := newOrderedStream(w)
-		emit := func(i int, res bfdn.SweepResult) {
-			line := sweepLine{Point: i}
-			if res.Err != nil {
-				line.Error = res.Err.Error()
-			} else {
-				rep := res.Report
-				line.Report = &rep
-			}
-			stream.emit(i, line)
-		}
-
-		// The engine recorder folds this sweep's point-latency histogram and
-		// totals into the server registry when the run completes; totals stay
-		// monotonically consistent under any number of concurrent sweeps.
-		stats, err := bfdn.SweepStream(ctx, points, s.cfg.SweepWorkers, req.Seed, emit,
-			bfdn.WithSweepRecorder(s.m.sweep), bfdn.WithSeedIndexBase(uint64(req.IndexBase)))
+	// The engine recorder folds this sweep's point-latency histogram and
+	// totals into the server registry when the run completes; totals stay
+	// monotonically consistent under any number of concurrent sweeps.
+	opts := []bfdn.EngineOption{
+		bfdn.WithSweepRecorder(s.m.sweep),
+		bfdn.WithSeedIndexBase(uint64(req.IndexBase)),
+	}
+	if s.cfg.Store != nil {
+		// The canonical re-marshaled request (timeout excluded — operational,
+		// not identity) keys the persistent job, so resubmitting the same
+		// sweep resumes its journal instead of recomputing finished points.
+		plan, err := json.Marshal(sweepPlan{Seed: req.Seed, IndexBase: req.IndexBase, Points: req.Points})
 		if err != nil {
-			// SweepStream validates every point before running anything, so
-			// on error no line has been written and the status is still ours.
-			w.Header().Del("X-Accel-Buffering")
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		stream.finish(sweepLine{Point: -1, Done: true, Points: stats.Points,
-			PointsPerSec: stats.PointsPerSec, Workers: stats.Workers})
-	})
+		opts = append(opts, bfdn.WithJobStorePlan(s.cfg.Store, plan))
+	}
+
+	// The stream emits lines strictly in point order (orderedStream), so
+	// the response is byte-identical at any worker count. Headers are set
+	// now but only flushed on the first body write, so a validation
+	// failure inside SweepStream (before any point has run) can still
+	// turn into a clean 400 below.
+	stream := newOrderedStream(w)
+	emit := func(i int, res bfdn.SweepResult) {
+		line := sweepLine{Point: i}
+		if res.Err != nil {
+			line.Error = res.Err.Error()
+		} else {
+			rep := res.Report
+			line.Report = &rep
+		}
+		stream.emit(i, line)
+	}
+
+	run := bfdn.SweepStream
+	if resume {
+		run = bfdn.ResumeSweepStream
+	}
+	stats, err := run(ctx, points, s.cfg.SweepWorkers, req.Seed, emit, opts...)
+	if err != nil {
+		// SweepStream validates every point before running anything, so
+		// on error no line has been written and the status is still ours.
+		w.Header().Del("X-Accel-Buffering")
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.cfg.Store != nil && stats.Points < len(points) {
+		// Journal hits: stats counts simulated points only, so the gap is
+		// what the store answered.
+		s.m.jsReplayed.Add(uint64(len(points) - stats.Points))
+	}
+	stream.finish(sweepLine{Point: -1, Done: true, Points: stats.Points,
+		PointsPerSec: stats.PointsPerSec, Workers: stats.Workers})
 }

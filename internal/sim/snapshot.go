@@ -1,0 +1,168 @@
+package sim
+
+// This file is the checkpoint/restore layer of the model (DESIGN.md S30):
+// a World and its algorithm serialize their mutable state between rounds,
+// so a long exploration can be journaled by internal/jobstore and resumed
+// after a crash. The contract mirrors Reset/Recycle (S22): a restored
+// (world, algorithm) pair must be indistinguishable — byte for byte in the
+// rounds it goes on to produce — from the uninterrupted run, which is what
+// keeps the paper's determinism guarantees (the Claim 2 reservation
+// machinery included) intact across a process boundary.
+
+import (
+	"fmt"
+
+	"bfdn/internal/snap"
+	"bfdn/internal/tree"
+)
+
+// Snapshotter is the optional checkpoint interface of an Algorithm: encode
+// every piece of state that influences future SelectMoves calls, in a fixed
+// order, such that RestoreState on a freshly constructed instance (same
+// constructor parameters, then Reset as for recycling) reproduces it
+// exactly. Scratch buffers that are rebuilt from scratch each round are
+// skipped; anything with cross-round memory — anchors, stacks, open-node
+// counts, lazy-heap internals whose tie-breaking depends on insertion
+// history — is serialized verbatim.
+type Snapshotter interface {
+	SnapshotState(e *snap.Encoder)
+	RestoreState(d *snap.Decoder) error
+}
+
+// checkpointVersion tags the EncodeCheckpoint format; a mismatch on restore
+// means the snapshot was written by an incompatible binary.
+const checkpointVersion = 1
+
+// Snapshot appends the world's mutable exploration state to e: positions,
+// explored set, per-node explored-children cursors, the round counter and
+// the full metrics. Per-round reservation state is deliberately excluded —
+// checkpoints are taken between rounds, where no reservation is live (a
+// Ticket never outlives the round that issued it).
+func (w *World) Snapshot(e *snap.Encoder) {
+	e.Int(w.k)
+	e.Int(w.t.N())
+	for _, p := range w.pos {
+		e.Int32(int32(p))
+	}
+	e.Bools(w.explored)
+	e.Int(w.exploredCount)
+	e.Int32s(w.nextKid)
+	e.Int(w.round)
+	e.Int(w.metrics.Rounds)
+	e.Int(w.metrics.TotalRounds)
+	e.Int64(w.metrics.Moves)
+	e.Int64s(w.metrics.MovesPerRobot)
+	e.Int(w.metrics.StillRobotRounds)
+	e.Int(w.metrics.EdgeExplorations)
+	e.Int(w.metrics.DiscoveredEdges)
+}
+
+// Restore reads a Snapshot back into w, which must already hold the same
+// tree and robot count (NewWorld or Reset with the checkpoint's plan).
+// Reservation state is cleared: every stored reservation belonged to a
+// round strictly before the restored one, so none can be live.
+func (w *World) Restore(d *snap.Decoder) error {
+	k, n := d.Int(), d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if k != w.k || n != w.t.N() {
+		return fmt.Errorf("sim: snapshot is for k=%d, n=%d; world has k=%d, n=%d", k, n, w.k, w.t.N())
+	}
+	for i := range w.pos {
+		w.pos[i] = tree.NodeID(d.Int32())
+	}
+	explored := d.Bools()
+	if d.Err() == nil && len(explored) != n {
+		return fmt.Errorf("sim: snapshot explored set has %d nodes, want %d", len(explored), n)
+	}
+	copy(w.explored, explored)
+	w.exploredCount = d.Int()
+	nextKid := d.Int32s()
+	if d.Err() == nil && len(nextKid) != n {
+		return fmt.Errorf("sim: snapshot cursor set has %d nodes, want %d", len(nextKid), n)
+	}
+	copy(w.nextKid, nextKid)
+	w.round = d.Int()
+	for i := 0; i < n; i++ {
+		w.reservedRound[i] = -1
+		w.reservedCount[i] = 0
+	}
+	w.metrics.Rounds = d.Int()
+	w.metrics.TotalRounds = d.Int()
+	w.metrics.Moves = d.Int64()
+	per := d.Int64s()
+	if d.Err() == nil && len(per) != k {
+		return fmt.Errorf("sim: snapshot has %d per-robot counters, want %d", len(per), k)
+	}
+	copy(w.metrics.MovesPerRobot, per)
+	w.metrics.StillRobotRounds = d.Int()
+	w.metrics.EdgeExplorations = d.Int()
+	w.metrics.DiscoveredEdges = d.Int()
+	return d.Err()
+}
+
+// EncodeCheckpoint serializes a mid-run (world, algorithm, pending events)
+// triple into one self-contained buffer. events are the explore events of
+// the last committed round, which the next SelectMoves call consumes — a
+// checkpoint that dropped them would desynchronize every event-driven
+// algorithm. The algorithm must implement Snapshotter.
+func EncodeCheckpoint(w *World, a Algorithm, events []ExploreEvent) ([]byte, error) {
+	s, ok := a.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("sim: algorithm %T does not support checkpointing", a)
+	}
+	var e snap.Encoder
+	e.Uint64(checkpointVersion)
+	w.Snapshot(&e)
+	e.Int(len(events))
+	for _, ev := range events {
+		e.Int32(int32(ev.Parent))
+		e.Int32(int32(ev.Child))
+		e.Int(ev.Robot)
+		e.Int(ev.NewDangling)
+	}
+	s.SnapshotState(&e)
+	return e.Bytes(), nil
+}
+
+// RestoreCheckpoint reads an EncodeCheckpoint buffer back into a world and
+// algorithm prepared with the checkpoint's plan (same tree, robot count and
+// constructor options, freshly Reset). It returns the pending explore
+// events to hand to the first SelectMoves of the resumed run.
+func RestoreCheckpoint(state []byte, w *World, a Algorithm) ([]ExploreEvent, error) {
+	s, ok := a.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("sim: algorithm %T does not support checkpointing", a)
+	}
+	d := snap.NewDecoder(state)
+	if v := d.Uint64(); d.Err() == nil && v != checkpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint version %d, want %d", v, checkpointVersion)
+	}
+	if err := w.Restore(d); err != nil {
+		return nil, fmt.Errorf("sim: restore world: %w", err)
+	}
+	nev := d.Int()
+	if d.Err() != nil || nev < 0 || nev > w.k {
+		return nil, fmt.Errorf("sim: checkpoint has %d pending events for %d robots: %w", nev, w.k, snap.ErrCorrupt)
+	}
+	events := make([]ExploreEvent, nev)
+	for i := range events {
+		events[i] = ExploreEvent{
+			Parent:      tree.NodeID(d.Int32()),
+			Child:       tree.NodeID(d.Int32()),
+			Robot:       d.Int(),
+			NewDangling: d.Int(),
+		}
+	}
+	if err := s.RestoreState(d); err != nil {
+		return nil, fmt.Errorf("sim: restore algorithm: %w", err)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Rest() != 0 {
+		return nil, fmt.Errorf("sim: %d trailing bytes in checkpoint: %w", d.Rest(), snap.ErrCorrupt)
+	}
+	return events, nil
+}

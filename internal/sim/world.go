@@ -364,12 +364,22 @@ func Run(w *World, a Algorithm, maxRounds int64) (Result, error) {
 // context's error (wrapped; test with errors.Is) and a zero Result; the
 // world is left mid-run in a consistent state.
 func RunContext(ctx context.Context, w *World, a Algorithm, maxRounds int64) (Result, error) {
+	return RunCheckpointedContext(ctx, w, a, maxRounds, nil, 0, nil)
+}
+
+// RunCheckpointedContext is RunContext for resumable runs (DESIGN.md S30).
+// events seeds the first SelectMoves call: nil for a fresh run, or the
+// pending explore events returned by RestoreCheckpoint when continuing a
+// restored world mid-run (the round counter then continues from where the
+// checkpoint left off, against the same absolute maxRounds cap). When
+// every > 0 and save is non-nil, save receives an EncodeCheckpoint buffer
+// after each block of every committed rounds; a save error aborts the run.
+func RunCheckpointedContext(ctx context.Context, w *World, a Algorithm, maxRounds int64, events []ExploreEvent, every int, save func([]byte) error) (Result, error) {
 	if maxRounds <= 0 {
 		n, d := int64(w.t.N()), int64(w.t.Depth())
 		maxRounds = 3*n*d + 2*d + 4
 	}
-	var events []ExploreEvent
-	for r := int64(0); r < maxRounds; r++ {
+	for int64(w.round) < maxRounds {
 		if err := ctx.Err(); err != nil {
 			return Result{}, fmt.Errorf("sim: canceled at round %d: %w", w.round, err)
 		}
@@ -388,6 +398,15 @@ func RunContext(ctx context.Context, w *World, a Algorithm, maxRounds int64) (Re
 				FullyExplored: w.FullyExplored(),
 				AllAtRoot:     w.AllAtRoot(),
 			}, nil
+		}
+		if every > 0 && save != nil && w.round%every == 0 {
+			state, err := EncodeCheckpoint(w, a, events)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := save(state); err != nil {
+				return Result{}, fmt.Errorf("sim: checkpoint at round %d: %w", w.round, err)
+			}
 		}
 	}
 	return Result{}, fmt.Errorf("%w (%d rounds, %s)", ErrRoundLimit, maxRounds, w.t)

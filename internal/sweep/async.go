@@ -55,6 +55,9 @@ type AsyncOptions struct {
 	// fed to DeriveSeed for sharded grids (see Options.IndexBase).
 	BaseSeed  uint64
 	IndexBase uint64
+	// SeedIndices, when non-nil, overrides the derivation index per point
+	// exactly like Options.SeedIndices (the resume path of DESIGN.md S30).
+	SeedIndices []uint64
 	// OnResult, when non-nil, fires once per point as soon as its result is
 	// final, on the worker goroutine, in completion order. Must be safe for
 	// concurrent calls.
@@ -62,6 +65,15 @@ type AsyncOptions struct {
 	// Recorder, when non-nil, receives the run's signals after the pool
 	// drains, merged atomically.
 	Recorder *Recorder
+}
+
+// seedIndex resolves the derivation index of point i: the SeedIndices
+// override when set, IndexBase+i otherwise.
+func (o *AsyncOptions) seedIndex(i int) uint64 {
+	if o.SeedIndices != nil {
+		return o.SeedIndices[i]
+	}
+	return o.IndexBase + uint64(i)
 }
 
 // RunAsync executes all asynchronous points on a worker pool and returns
@@ -87,7 +99,7 @@ func RunAsyncContext(ctx context.Context, points []AsyncPoint, opt AsyncOptions)
 		algs = make([]map[string]async.Algorithm, workers)
 	}, func(pctx context.Context, wk, i int, canceled bool) bool {
 		if canceled {
-			results[i] = AsyncResult{Point: i, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(i)),
+			results[i] = AsyncResult{Point: i, Seed: DeriveSeed(opt.BaseSeed, opt.seedIndex(i)),
 				Err: fmt.Errorf("sweep: async point %d: %w", i, ctx.Err())}
 		} else {
 			if algs[wk] == nil {
@@ -110,7 +122,7 @@ func RunAsyncContext(ctx context.Context, points []AsyncPoint, opt AsyncOptions)
 // still reuse both.
 func runAsyncPoint(ctx context.Context, engine **async.Engine, cache map[string]async.Algorithm,
 	p AsyncPoint, index int, opt AsyncOptions) AsyncResult {
-	res := AsyncResult{Point: index, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(index))}
+	res := AsyncResult{Point: index, Seed: DeriveSeed(opt.BaseSeed, opt.seedIndex(index))}
 	fail := func(err error) AsyncResult {
 		res.Err = fmt.Errorf("sweep: async point %d: %w", index, err)
 		return res

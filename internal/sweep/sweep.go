@@ -115,6 +115,14 @@ type Options struct {
 	// first global index, so every point's randomness — and therefore its
 	// result — is identical to the unsharded run regardless of placement.
 	IndexBase uint64
+	// SeedIndices, when non-nil, overrides the seed-derivation index per
+	// point: point i draws from DeriveSeed(BaseSeed, SeedIndices[i]) instead
+	// of IndexBase+i. A resuming caller (DESIGN.md S30) that re-runs only
+	// the missing points of a journaled sweep passes each survivor's
+	// original global index here, so its randomness — and result — is
+	// byte-identical to the uninterrupted run. len(SeedIndices) must equal
+	// the number of points.
+	SeedIndices []uint64
 	// OnResult, when non-nil, is invoked exactly once per point as soon as
 	// its Result is final — on the worker goroutine that produced it, in
 	// completion order (not point order). Canceled points are reported too,
@@ -127,6 +135,15 @@ type Options struct {
 	// shared by concurrent sweeps accumulates monotonically consistent
 	// totals.
 	Recorder *Recorder
+}
+
+// seedIndex resolves the derivation index of point i: the SeedIndices
+// override when set, IndexBase+i otherwise.
+func (o *Options) seedIndex(i int) uint64 {
+	if o.SeedIndices != nil {
+		return o.SeedIndices[i]
+	}
+	return o.IndexBase + uint64(i)
 }
 
 // DeriveSeed maps (base, index) to a per-point seed with the splitmix64
@@ -163,7 +180,7 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Sta
 		algs = make([]sim.Algorithm, workers)
 	}, func(pctx context.Context, wk, i int, canceled bool) bool {
 		if canceled {
-			results[i] = Result{Point: i, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(i)),
+			results[i] = Result{Point: i, Seed: DeriveSeed(opt.BaseSeed, opt.seedIndex(i)),
 				Err: fmt.Errorf("sweep: point %d: %w", i, ctx.Err())}
 		} else {
 			results[i] = runPoint(pctx, &worlds[wk], &algs[wk], points[i], i, opt)
@@ -293,7 +310,7 @@ func runPool(ctx context.Context, n, workers int, recorder *Recorder,
 // is always reused (via Reset), the algorithm only when the point's
 // ResetAlgorithm hook accepts the previous instance.
 func runPoint(ctx context.Context, world **sim.World, prevAlg *sim.Algorithm, p Point, index int, opt Options) Result {
-	res := Result{Point: index, Seed: DeriveSeed(opt.BaseSeed, opt.IndexBase+uint64(index))}
+	res := Result{Point: index, Seed: DeriveSeed(opt.BaseSeed, opt.seedIndex(index))}
 	if p.Tree == nil {
 		res.Err = fmt.Errorf("sweep: point %d: nil tree", index)
 		return res

@@ -1,0 +1,33 @@
+package treemining
+
+import (
+	"fmt"
+
+	"bfdn/internal/snap"
+)
+
+// SnapshotState implements sim.Snapshotter (DESIGN.md S30). Tree-Mining's
+// cross-round memory is the per-subtree open-edge reserve (the quantity its
+// largest-remainder split is computed from each round) and the seeding
+// flag; the grouping and target buffers are rebuilt from the view every
+// round and are skipped.
+func (t *TreeMining) SnapshotState(e *snap.Encoder) {
+	e.Int(t.k)
+	e.Bool(t.seeded)
+	e.Int32s(t.open.vals)
+}
+
+// RestoreState implements sim.Snapshotter; t must have been constructed (or
+// Reset) for the snapshot's robot count.
+func (t *TreeMining) RestoreState(d *snap.Decoder) error {
+	k := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if k != t.k {
+		return fmt.Errorf("treemining: snapshot is for k=%d, instance has k=%d", k, t.k)
+	}
+	t.seeded = d.Bool()
+	t.open.vals = append(t.open.vals[:0], d.Int32s()...)
+	return d.Err()
+}

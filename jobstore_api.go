@@ -1,0 +1,462 @@
+package bfdn
+
+// This file is the facade over internal/jobstore (DESIGN.md S30): durable,
+// resumable runs. A JobStore journals every completed sweep point to an
+// append-only WAL and checkpoints long explorations with atomic snapshots;
+// re-running the same plan against the same store resumes from what
+// survived, and the byte-identity contract (per-point seeds derived from
+// the point's original global index, algorithm Snapshot/Restore hooks)
+// makes the merged output indistinguishable from an uninterrupted run.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"bfdn/internal/jobstore"
+	"bfdn/internal/sim"
+	"bfdn/internal/sweep"
+)
+
+// JobStore is a persistent, crash-safe store of resumable jobs: sweeps,
+// asynchronous sweeps, and checkpointed explorations. Jobs are
+// content-addressed by their plan (jobstore.PlanID), so submitting the same
+// work to the same store is the same job — the resume procedure is simply
+// "run it again".
+type JobStore struct {
+	s *jobstore.Store
+}
+
+// OpenJobStore opens (creating if needed) a job store rooted at dir.
+func OpenJobStore(dir string) (*JobStore, error) {
+	s, err := jobstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &JobStore{s: s}, nil
+}
+
+// JobInfo summarizes one stored job.
+type JobInfo = jobstore.Info
+
+// Jobs lists the stored jobs, sorted by ID.
+func (js *JobStore) Jobs() ([]JobInfo, error) { return js.s.Jobs() }
+
+// Store exposes the underlying internal store for in-module consumers (the
+// bfdnd daemon shares one store between its HTTP handlers and the sweep
+// facade).
+func (js *JobStore) Store() *jobstore.Store { return js.s }
+
+// planRef is the canonical JSON plan stored in a job's manifest when the
+// caller did not supply plan bytes of its own: a fingerprint over everything
+// that determines the run's output.
+type planRef struct {
+	Fingerprint string `json:"fingerprint"`
+}
+
+// fingerprintPlan folds h into manifest-ready JSON plan bytes.
+func fingerprintPlan(sum []byte) []byte {
+	b, err := json.Marshal(planRef{Fingerprint: fmt.Sprintf("%x", sum[:16])})
+	if err != nil {
+		panic(err) // unreachable: planRef always marshals
+	}
+	return b
+}
+
+// hashTree writes the tree's parent array — its full identity — into h.
+func hashTree(h io.Writer, t *Tree) {
+	parents := t.t.Parents()
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(len(parents)))
+	h.Write(buf[:])
+	for _, p := range parents {
+		binary.LittleEndian.PutUint32(buf[:], uint32(p))
+		h.Write(buf[:])
+	}
+}
+
+// sweepPlanBytes derives the default plan identity of a sweep: base seed,
+// index base, and every point's tree, k, algorithm and ℓ.
+func sweepPlanBytes(points []SweepPoint, baseSeed, indexBase uint64) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "sweep\x00%d\x00%d\x00%d\x00", baseSeed, indexBase, len(points))
+	for _, p := range points {
+		hashTree(h, p.Tree)
+		fmt.Fprintf(h, "%d\x00%d\x00%d\x00", p.K, int(p.Algorithm), p.Ell)
+	}
+	return fingerprintPlan(h.Sum(nil))
+}
+
+// asyncSweepPlanBytes is sweepPlanBytes for continuous-time grids.
+func asyncSweepPlanBytes(points []AsyncSweepPoint, baseSeed, indexBase uint64) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "asyncsweep\x00%d\x00%d\x00%d\x00", baseSeed, indexBase, len(points))
+	for _, p := range points {
+		hashTree(h, p.Tree)
+		fmt.Fprintf(h, "%d\x00", len(p.Speeds))
+		for _, s := range p.Speeds {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
+			h.Write(buf[:])
+		}
+		fmt.Fprintf(h, "%d\x00%s\x00", int(p.Algorithm), p.Latency)
+	}
+	return fingerprintPlan(h.Sum(nil))
+}
+
+// explorePlanBytes derives the plan identity of a checkpointed exploration:
+// the tree, k, and every config knob that changes the run.
+func explorePlanBytes(t *Tree, k int, cfg config) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "explore\x00")
+	hashTree(h, t)
+	fmt.Fprintf(h, "%d\x00%d\x00%d\x00%d\x00%v\x00%d\x00",
+		k, int(cfg.alg), cfg.ell, int(cfg.policy), cfg.shortcut, cfg.seed)
+	return fingerprintPlan(h.Sum(nil))
+}
+
+// pointRecord is one WAL entry of a journaled sweep: the settled point's
+// global index and its report. Only successes are journaled — failed points
+// re-run deterministically on resume.
+type pointRecord struct {
+	T      string  `json:"t"`
+	I      int     `json:"i"`
+	Report *Report `json:"report"`
+}
+
+// asyncPointRecord is pointRecord for continuous-time sweeps.
+type asyncPointRecord struct {
+	T      string       `json:"t"`
+	I      int          `json:"i"`
+	Report *AsyncReport `json:"report"`
+}
+
+// reportRecord is the terminal WAL entry of a checkpointed exploration.
+type reportRecord struct {
+	T      string  `json:"t"`
+	Report *Report `json:"report"`
+}
+
+// runJournaledSweep executes a sweep against a job store: cached points are
+// replayed from the WAL (in index order, before any fresh result), missing
+// points run with their original global seed indices, and every fresh
+// success is journaled before it is delivered. The job is marked done once
+// every point has succeeded.
+func runJournaledSweep(ctx context.Context, points []SweepPoint, pts []sweep.Point,
+	pointBounds []float64, onResult func(int, SweepResult), cfg *engineConfig) (SweepStats, error) {
+	plan := cfg.plan
+	if plan == nil {
+		plan = sweepPlanBytes(points, cfg.opt.BaseSeed, cfg.opt.IndexBase)
+	}
+	job, existed, err := openPlan(cfg.store, "sweep", plan, cfg.resume)
+	if err != nil {
+		return SweepStats{}, err
+	}
+	_ = existed
+	cached := make(map[int]*Report)
+	raws, err := job.Replay()
+	if err != nil {
+		return SweepStats{}, fmt.Errorf("bfdn: job %s: %w", job.ID(), err)
+	}
+	for _, raw := range raws {
+		var rec pointRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return SweepStats{}, fmt.Errorf("bfdn: job %s: corrupt journal record: %w", job.ID(), err)
+		}
+		if rec.T == "point" && rec.I >= 0 && rec.I < len(points) && rec.Report != nil {
+			cached[rec.I] = rec.Report
+		}
+	}
+	if onResult != nil {
+		for i := range points {
+			if r, ok := cached[i]; ok {
+				onResult(i, SweepResult{Report: *r})
+			}
+		}
+	}
+	var (
+		freshPts []sweep.Point
+		origIdx  []int
+		seedIdx  []uint64
+	)
+	for i := range pts {
+		if _, ok := cached[i]; ok {
+			continue
+		}
+		freshPts = append(freshPts, pts[i])
+		origIdx = append(origIdx, i)
+		seedIdx = append(seedIdx, cfg.opt.IndexBase+uint64(i))
+	}
+	if len(freshPts) == 0 {
+		if err := job.MarkDone(); err != nil {
+			return SweepStats{}, err
+		}
+		return SweepStats{}, nil
+	}
+	opt := cfg.opt
+	opt.SeedIndices = seedIdx
+	var mu sync.Mutex
+	var journalErr error
+	opt.OnResult = func(r sweep.Result) {
+		gi := origIdx[r.Point]
+		res := convertSweepResult(points[gi], pointBounds[gi], r)
+		if res.Err == nil {
+			if err := job.Append(pointRecord{T: "point", I: gi, Report: &res.Report}); err != nil {
+				mu.Lock()
+				if journalErr == nil {
+					journalErr = err
+				}
+				mu.Unlock()
+			}
+		}
+		if onResult != nil {
+			onResult(gi, res)
+		}
+	}
+	_, stats := sweep.RunContext(ctx, freshPts, opt)
+	if journalErr != nil {
+		return convertSweepStats(stats), fmt.Errorf("bfdn: job %s: journal append: %w", job.ID(), journalErr)
+	}
+	if stats.Errors == 0 {
+		if err := job.MarkDone(); err != nil {
+			return convertSweepStats(stats), err
+		}
+	}
+	return convertSweepStats(stats), nil
+}
+
+// runJournaledAsyncSweep is runJournaledSweep for continuous-time grids;
+// resume granularity is the point (the async engine's event heap holds an
+// unserializable randomness stream, so points re-run whole — DESIGN.md S30).
+func runJournaledAsyncSweep(ctx context.Context, points []AsyncSweepPoint, pts []sweep.AsyncPoint,
+	onResult func(int, AsyncSweepResult), cfg *asyncEngineConfig) (SweepStats, error) {
+	plan := cfg.plan
+	if plan == nil {
+		plan = asyncSweepPlanBytes(points, cfg.opt.BaseSeed, cfg.opt.IndexBase)
+	}
+	job, _, err := openPlan(cfg.store, "asyncsweep", plan, cfg.resume)
+	if err != nil {
+		return SweepStats{}, err
+	}
+	cached := make(map[int]*AsyncReport)
+	raws, err := job.Replay()
+	if err != nil {
+		return SweepStats{}, fmt.Errorf("bfdn: job %s: %w", job.ID(), err)
+	}
+	for _, raw := range raws {
+		var rec asyncPointRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return SweepStats{}, fmt.Errorf("bfdn: job %s: corrupt journal record: %w", job.ID(), err)
+		}
+		if rec.T == "point" && rec.I >= 0 && rec.I < len(points) && rec.Report != nil {
+			cached[rec.I] = rec.Report
+		}
+	}
+	if onResult != nil {
+		for i := range points {
+			if r, ok := cached[i]; ok {
+				onResult(i, AsyncSweepResult{Report: *r})
+			}
+		}
+	}
+	var (
+		freshPts []sweep.AsyncPoint
+		origIdx  []int
+		seedIdx  []uint64
+	)
+	for i := range pts {
+		if _, ok := cached[i]; ok {
+			continue
+		}
+		freshPts = append(freshPts, pts[i])
+		origIdx = append(origIdx, i)
+		seedIdx = append(seedIdx, cfg.opt.IndexBase+uint64(i))
+	}
+	if len(freshPts) == 0 {
+		if err := job.MarkDone(); err != nil {
+			return SweepStats{}, err
+		}
+		return SweepStats{}, nil
+	}
+	opt := cfg.opt
+	opt.SeedIndices = seedIdx
+	var mu sync.Mutex
+	var journalErr error
+	opt.OnResult = func(r sweep.AsyncResult) {
+		gi := origIdx[r.Point]
+		res := convertAsyncResult(points[gi], r)
+		if res.Err == nil {
+			if err := job.Append(asyncPointRecord{T: "point", I: gi, Report: &res.Report}); err != nil {
+				mu.Lock()
+				if journalErr == nil {
+					journalErr = err
+				}
+				mu.Unlock()
+			}
+		}
+		if onResult != nil {
+			onResult(gi, res)
+		}
+	}
+	_, stats := sweep.RunAsyncContext(ctx, freshPts, opt)
+	if journalErr != nil {
+		return convertSweepStats(stats), fmt.Errorf("bfdn: job %s: journal append: %w", job.ID(), journalErr)
+	}
+	if stats.Errors == 0 {
+		if err := job.MarkDone(); err != nil {
+			return convertSweepStats(stats), err
+		}
+	}
+	return convertSweepStats(stats), nil
+}
+
+// openPlan opens (or, for resume, requires) the job with the given plan.
+func openPlan(js *JobStore, kind string, plan []byte, requireExisting bool) (*jobstore.Job, bool, error) {
+	if requireExisting {
+		id := jobstore.PlanID(kind, plan)
+		job, err := js.s.Get(id)
+		if err != nil {
+			return nil, false, fmt.Errorf("bfdn: resume: job %s (%s) not in store: %w", id, kind, err)
+		}
+		return job, true, nil
+	}
+	job, existed, err := js.s.OpenOrCreate(kind, plan)
+	return job, existed, err
+}
+
+// exploreCheckpointed is the WithCheckpoint path of ExploreContext: restore
+// the latest snapshot if one exists, run with periodic checkpointing, and
+// journal the final report so a completed job replays without simulating.
+func exploreCheckpointed(ctx context.Context, t *Tree, k int, cfg config) (*Report, error) {
+	plan := explorePlanBytes(t, k, cfg)
+	job, _, err := openPlan(cfg.store, "explore", plan, cfg.resume)
+	if err != nil {
+		return nil, err
+	}
+	if job.IsDone() {
+		raws, err := job.Replay()
+		if err != nil {
+			return nil, fmt.Errorf("bfdn: job %s: %w", job.ID(), err)
+		}
+		for i := len(raws) - 1; i >= 0; i-- {
+			var rec reportRecord
+			if err := json.Unmarshal(raws[i], &rec); err == nil && rec.T == "report" && rec.Report != nil {
+				return rec.Report, nil
+			}
+		}
+		return nil, fmt.Errorf("bfdn: job %s: done but no report in journal", job.ID())
+	}
+	alg, bound, err := newSimAlgorithm(t, k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sim.NewWorld(t.t, k)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.progress != nil {
+		f := cfg.progress
+		w.SetObserver(func(p sim.Progress) { f(Progress(p)) })
+	}
+	var events []sim.ExploreEvent
+	if state, ok, err := job.LoadSnapshot(); err != nil {
+		return nil, fmt.Errorf("bfdn: job %s: %w", job.ID(), err)
+	} else if ok {
+		events, err = sim.RestoreCheckpoint(state, w, alg)
+		if err != nil {
+			return nil, fmt.Errorf("bfdn: job %s: %w", job.ID(), err)
+		}
+	}
+	every := cfg.ckptEvery
+	if every <= 0 {
+		every = 1024
+	}
+	res, err := sim.RunCheckpointedContext(ctx, w, alg, 0, events, every, job.SaveSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Rounds:            res.Rounds,
+		Moves:             res.Moves,
+		EdgeExplorations:  res.EdgeExplorations,
+		Bound:             bound,
+		OfflineLowerBound: OfflineLowerBound(t.N(), t.Depth(), k),
+		FullyExplored:     res.FullyExplored,
+		AllAtRoot:         res.AllAtRoot,
+	}
+	if err := job.Append(reportRecord{T: "report", Report: rep}); err != nil {
+		return nil, fmt.Errorf("bfdn: job %s: journal append: %w", job.ID(), err)
+	}
+	if err := job.MarkDone(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// ResumeExplore re-runs a checkpointed exploration strictly from the store:
+// the job (identified by tree, k, and options — the same content address
+// WithCheckpoint computes) must already exist, and the run continues from
+// its latest snapshot, or returns the journaled report if it completed.
+// A byte-identical WithCheckpoint option set must be supplied so the plan
+// hash matches.
+func ResumeExplore(ctx context.Context, t *Tree, k int, opts ...Option) (*Report, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.store == nil {
+		return nil, fmt.Errorf("bfdn: ResumeExplore requires WithCheckpoint")
+	}
+	if cfg.schedule != nil {
+		return nil, fmt.Errorf("bfdn: checkpointed explorations do not support break-down schedules")
+	}
+	cfg.resume = true
+	return exploreCheckpointed(ctx, t, k, cfg)
+}
+
+// ResumeSweep is ResumeSweepStream collecting results in point order.
+func ResumeSweep(ctx context.Context, points []SweepPoint, workers int, seed int64, engineOpts ...EngineOption) ([]SweepResult, SweepStats, error) {
+	out := make([]SweepResult, len(points))
+	stats, err := ResumeSweepStream(ctx, points, workers, seed, func(i int, r SweepResult) {
+		out[i] = r
+	}, engineOpts...)
+	if err != nil {
+		return nil, SweepStats{}, err
+	}
+	return out, stats, nil
+}
+
+// ResumeSweepStream is SweepStream in strict-resume mode: WithJobStore is
+// required, the job (content-addressed from the points, seed and index
+// base) must already exist in the store, and only the points missing from
+// its journal are executed — each with its original global seed index, so
+// the combined output is byte-identical to the uninterrupted run.
+func ResumeSweepStream(ctx context.Context, points []SweepPoint, workers int, seed int64, onResult func(index int, res SweepResult), engineOpts ...EngineOption) (SweepStats, error) {
+	engineOpts = append(engineOpts, func(c *engineConfig) { c.resume = true })
+	return SweepStream(ctx, points, workers, seed, onResult, engineOpts...)
+}
+
+// ResumeSweepAsync is ResumeSweepAsyncStream collecting results in point
+// order.
+func ResumeSweepAsync(ctx context.Context, points []AsyncSweepPoint, workers int, seed int64, engineOpts ...AsyncEngineOption) ([]AsyncSweepResult, SweepStats, error) {
+	out := make([]AsyncSweepResult, len(points))
+	stats, err := ResumeSweepAsyncStream(ctx, points, workers, seed, func(i int, r AsyncSweepResult) {
+		out[i] = r
+	}, engineOpts...)
+	if err != nil {
+		return nil, SweepStats{}, err
+	}
+	return out, stats, nil
+}
+
+// ResumeSweepAsyncStream is SweepAsyncStream in strict-resume mode,
+// mirroring ResumeSweepStream.
+func ResumeSweepAsyncStream(ctx context.Context, points []AsyncSweepPoint, workers int, seed int64, onResult func(index int, res AsyncSweepResult), engineOpts ...AsyncEngineOption) (SweepStats, error) {
+	engineOpts = append(engineOpts, func(c *asyncEngineConfig) { c.resume = true })
+	return SweepAsyncStream(ctx, points, workers, seed, onResult, engineOpts...)
+}

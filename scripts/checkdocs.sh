@@ -28,13 +28,30 @@ if [ "$found" -eq 0 ]; then
     exit 1
 fi
 
-# OPERATIONS.md drift check: the metric catalog must list exactly what the
-# code registers, in both directions. The check is a Go test because
-# recorder names are assembled from prefixes at registration time
-# (sweep.NewNamedRecorder), which grep over source text cannot resolve.
+# Checkpoint/restore surfaces must anchor to the design doc: the jobstore
+# package comment names its DESIGN.md section, and DESIGN.md has that
+# section, so a reader of either can find the other. (The per-algorithm
+# Snapshot/Restore hooks live in snapshot.go files whose package comments
+# are covered by the .Doc check above.)
+if ! go list -f '{{.Doc}}' ./internal/jobstore | grep -q 'S30'; then
+    echo "internal/jobstore package comment must cite its design section (DESIGN.md S30)" >&2
+    exit 1
+fi
+if ! grep -q '^### S30' DESIGN.md; then
+    echo "DESIGN.md is missing section S30 (persistent job store), cited by internal/jobstore" >&2
+    exit 1
+fi
+
+# OPERATIONS.md drift checks: the metric catalog must list exactly what the
+# code registers, and the endpoint list exactly what the daemon serves —
+# both directions each (an undocumented addition fails, and so does a
+# runbook step naming a metric or route that no longer exists). The checks
+# are Go tests because recorder names are assembled from prefixes at
+# registration time (sweep.NewNamedRecorder) and routes live in the
+# server's mux catalog, neither resolvable by grep over source text.
 go test -count=1 ./internal/opscheck/ >/dev/null || {
-    echo "OPERATIONS.md metric catalog drifted from the code; run: go test ./internal/opscheck/" >&2
+    echo "OPERATIONS.md metric/endpoint catalog drifted from the code; run: go test ./internal/opscheck/" >&2
     exit 1
 }
 
-echo "all packages documented, benchmark records present, metric catalog in sync"
+echo "all packages documented, benchmark records present, metric and endpoint catalogs in sync"
