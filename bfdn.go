@@ -305,7 +305,7 @@ func newSimAlgorithm(t *Tree, k int, cfg config) (sim.Algorithm, float64, error)
 		return cte.New(k),
 			bounds.GuaranteeCTE(float64(t.N()), float64(t.Depth()), k), nil
 	case DFS:
-		return offline.DFS{}, float64(2 * (t.N() - 1)), nil
+		return &offline.DFS{}, float64(2 * (t.N() - 1)), nil
 	case Levelwise:
 		return levelwise.New(k), levelwise.Bound(t.N(), t.Depth(), k), nil
 	case TreeMining:

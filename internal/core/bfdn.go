@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"bfdn/internal/sim"
 	"bfdn/internal/tree"
@@ -43,10 +44,22 @@ type BFDN struct {
 	rs     []robotState
 	stats  Stats
 	seeded bool
+	// depthsKnown marks the per-robot posDepth fields as current; it is
+	// cleared by Reset and RestoreState (posDepth is derived state, not part
+	// of the checkpoint format) and re-established by one DepthOf pass.
+	depthsKnown bool
 	// reanchorAt scratch (shortcut mode): the down-chain and up-chain of the
 	// shortest explored path, reused across re-anchors.
 	scratchDown []tree.NodeID
 	scratchUps  []tree.NodeID
+	// Batched-decide scratch (DESIGN.md S31): per-slot position depths
+	// (-1 for blocked robots), the counting-sort buckets, the packed
+	// (depth, slot) keys of the sparse-round comparison sort, and the
+	// resulting depth-sorted slot order of the move phase.
+	slotDepth []int32
+	depthCnt  []int32
+	depthKey  []uint64
+	slotOrder []int32
 }
 
 // bitset is a dense robot-id set; it replaces the map[int]bool whose lookups
@@ -82,6 +95,11 @@ func (s *bitset) setBits(ids []int) {
 type robotState struct {
 	anchor      tree.NodeID
 	anchorDepth int // relative to the instance root
+	// posDepth is the absolute depth of the robot's position, maintained
+	// incrementally by the batched decide path (every move changes depth by
+	// ±1), replacing a per-round DepthOf lookup. Shortcut mode leaves it
+	// stale; it is only read by the batched path.
+	posDepth    int32
 	stack       []tree.NodeID
 	excRounds   int
 	excExplored int
@@ -172,6 +190,7 @@ func (b *BFDN) Reset(robots []int, root tree.NodeID, rng *rand.Rand) {
 	}
 	b.stats.reset()
 	b.seeded = false
+	b.depthsKnown = false
 }
 
 // Stats returns the accumulated instrumentation.
@@ -221,9 +240,12 @@ func (b *BFDN) absorb(v *sim.View, events []sim.ExploreEvent) {
 			continue
 		}
 		if e.NewDangling > 0 {
-			b.idx.addOpen(e.Child, v.DepthOf(e.Child)-b.rootDepth)
+			b.idx.addOpen(e.Child, v.DepthOf(e.Parent)+1-b.rootDepth)
 		}
-		if v.DanglingAt(e.Parent) == 0 {
+		if e.ParentDangling == 0 {
+			// Exactly one event per closed parent carries 0 (close is
+			// idempotent anyway, but skipping the others avoids an index
+			// probe per event).
 			b.idx.close(e.Parent, v.DepthOf(e.Parent)-b.rootDepth)
 		}
 	}
@@ -241,23 +263,164 @@ func (b *BFDN) Decide(v *sim.View, events []sim.ExploreEvent, moves []sim.Move) 
 // take part in the round's assignment process). Blocked robots are given a
 // Stay move and their internal state is left untouched. allowed == nil
 // allows everyone.
+//
+// The round is processed in two phases. Phase A walks robots in index order
+// and performs every re-anchor (procedure Reanchor touches the shared
+// anchor index, so its order is the algorithm's tie-breaking order and must
+// stay fixed). Phase B then emits the moves with robots batched by the
+// depth of their position — a stable counting sort — so consecutive robots
+// touch neighboring levels of the CSR layout and the per-node reservation
+// words stay in cache. The reordering is observationally identical to the
+// sequential loop: moves only read per-robot state and the per-node
+// reservation word of the robot's own position, robots sharing a position
+// share a depth (the stable sort keeps them in index order, preserving
+// ticket assignment), and reservations never change DanglingAt, which is
+// all phase A reads. Shortcut mode keeps the sequential loop because
+// reanchorAt interleaves re-anchoring with moving.
 func (b *BFDN) DecideAllowed(v *sim.View, events []sim.ExploreEvent, moves []sim.Move, allowed func(robot int) bool) error {
 	if !b.seeded {
 		b.seed(v)
 	}
 	b.absorb(v, events)
+	if b.shortcut {
+		for j, r := range b.robots {
+			if allowed != nil && !allowed(r) {
+				moves[r] = sim.Move{Kind: sim.Stay}
+				continue
+			}
+			m, err := b.decideRobot(v, j, r)
+			if err != nil {
+				return err
+			}
+			moves[r] = m
+		}
+		return nil
+	}
+
+	if !b.depthsKnown {
+		for j, r := range b.robots {
+			b.rs[j].posDepth = int32(v.DepthOf(v.Pos(r)))
+		}
+		b.depthsKnown = true
+	}
+
+	// Phase A: blocked robots and re-anchors, in robot index order.
+	n := len(b.robots)
+	if cap(b.slotDepth) < n {
+		b.slotDepth = make([]int32, n)
+		b.slotOrder = make([]int32, n)
+	}
+	slotDepth := b.slotDepth[:n]
+	maxDepth := 0
+	active := 0
 	for j, r := range b.robots {
 		if allowed != nil && !allowed(r) {
 			moves[r] = sim.Move{Kind: sim.Stay}
+			slotDepth[j] = -1
 			continue
 		}
-		m, err := b.decideRobot(v, j, r)
-		if err != nil {
-			return err
+		st := &b.rs[j]
+		if v.Pos(r) == b.root && len(st.stack) == 0 {
+			b.reanchor(v, j, r)
 		}
-		moves[r] = m
+		d := int(st.posDepth)
+		slotDepth[j] = st.posDepth
+		if d > maxDepth {
+			maxDepth = d
+		}
+		active++
+	}
+
+	// Phase B: stable sort of the active slots by depth, then moves. Dense
+	// rounds (depth range comparable to the robot count — the steady state
+	// of a k-robot frontier) use a counting sort. A sparse round — few
+	// robots deep in the tree, e.g. k=1 on a path, where maxDepth grows by
+	// one every round — would make the counting sort's zero+prefix pass
+	// O(depth) per round and O(depth²) per run, so those rounds sort packed
+	// (depth, slot) keys instead: same (depth, index) order, since keys are
+	// distinct, at O(active·log active) independent of depth.
+	order := b.slotOrder[:active]
+	if maxDepth+1 <= 4*active+64 {
+		if cap(b.depthCnt) < maxDepth+1 {
+			// Geometric growth: the bound above still lets maxDepth creep up
+			// round over round, and growing by exact need would reallocate on
+			// every round of that creep.
+			b.depthCnt = make([]int32, max(2*cap(b.depthCnt), maxDepth+1))
+		}
+		cnt := b.depthCnt[:maxDepth+1]
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, d := range slotDepth {
+			if d >= 0 {
+				cnt[d]++
+			}
+		}
+		off := int32(0)
+		for i, c := range cnt {
+			cnt[i] = off
+			off += c
+		}
+		for j, d := range slotDepth {
+			if d >= 0 {
+				order[cnt[d]] = int32(j)
+				cnt[d]++
+			}
+		}
+	} else {
+		if cap(b.depthKey) < n {
+			b.depthKey = make([]uint64, 0, n)
+		}
+		keys := b.depthKey[:0]
+		for j, d := range slotDepth {
+			if d >= 0 {
+				keys = append(keys, uint64(d)<<32|uint64(j))
+			}
+		}
+		slices.Sort(keys)
+		for i, key := range keys {
+			order[i] = int32(key & 0xffffffff)
+		}
+		b.depthKey = keys[:0]
+	}
+	for _, j32 := range order {
+		j := int(j32)
+		moves[b.robots[j]] = b.moveRobot(v, j, b.robots[j])
 	}
 	return nil
+}
+
+// moveRobot emits the round's move for one robot whose re-anchoring (if
+// any) already happened in phase A: BF stack pop, else DN reservation,
+// else ascend. Without the shortcut ablation the BF stack holds only
+// downward paths (reanchor stacks the root→anchor chain), so the pop is a
+// plain Down; Apply re-validates the child relation, making a core-side
+// check redundant.
+func (b *BFDN) moveRobot(v *sim.View, j, robot int) sim.Move {
+	st := &b.rs[j]
+	if len(st.stack) > 0 {
+		next := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		st.excRounds++
+		st.everMoved = true
+		st.posDepth++
+		return sim.Move{Kind: sim.Down, Child: next}
+	}
+	pos := v.Pos(robot)
+	if tk, ok := v.ReserveDangling(pos); ok {
+		st.excRounds++
+		st.excExplored++
+		st.everMoved = true
+		st.posDepth++
+		return sim.Move{Kind: sim.Explore, Ticket: tk}
+	}
+	if pos != b.root {
+		st.excRounds++
+		st.posDepth--
+		return sim.Move{Kind: sim.Up}
+	}
+	b.stats.IdleSelections++
+	return sim.Move{Kind: sim.Stay}
 }
 
 func (b *BFDN) decideRobot(v *sim.View, j, robot int) (sim.Move, error) {

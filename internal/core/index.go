@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"bfdn/internal/tree"
@@ -19,10 +18,11 @@ import (
 type anchorIndex struct {
 	buckets  []*depthBucket
 	minDepth int
-	// loads[v] is n_v, the number of robots currently anchored at v.
-	loads nodeInts
-	// pos[v] is the index of v in its bucket's members slice, or -1.
-	pos nodeInts
+	// meta[v] packs the two per-node tables — bucket position (-1 if not
+	// open) and anchor load n_v — into one 8-byte word, so the index probes
+	// on the absorb and re-anchor paths cost one cache line per node
+	// instead of two parallel-array accesses.
+	meta metaTable
 	// sign is +1 for min-load (least-loaded) ordering, -1 for max-load.
 	sign int
 }
@@ -33,36 +33,56 @@ type depthBucket struct {
 	cursor  int // round-robin position
 }
 
-// nodeInts is a growable int32 slice indexed by NodeID with default -1 or 0.
-type nodeInts struct {
-	vals []int32
-	fill int32
+// nodeMeta is the per-node word of the anchor index: pos is the node's
+// index in its depth bucket's members slice (-1 when the node is not open),
+// load is n_v, the number of robots currently anchored at the node.
+type nodeMeta struct {
+	pos  int32
+	load int32
 }
 
-func (g *nodeInts) get(v tree.NodeID) int32 {
+// metaTable is a growable nodeMeta slice indexed by NodeID; absent entries
+// read as {pos: -1, load: 0}.
+type metaTable struct {
+	vals []nodeMeta
+}
+
+func (g *metaTable) at(v tree.NodeID) nodeMeta {
 	if int(v) >= len(g.vals) {
-		return g.fill
+		return nodeMeta{pos: -1}
 	}
 	return g.vals[v]
 }
 
-func (g *nodeInts) set(v tree.NodeID, x int32) {
-	for int(v) >= len(g.vals) {
-		g.vals = append(g.vals, g.fill)
+// ref returns a mutable pointer to v's entry, growing the table as needed.
+// The pointer is invalidated by the next ref call on a larger id.
+func (g *metaTable) ref(v tree.NodeID) *nodeMeta {
+	if int(v) >= len(g.vals) {
+		g.grow(int(v) + 1)
 	}
-	g.vals[v] = x
+	return &g.vals[v]
 }
 
-func (g *nodeInts) add(v tree.NodeID, d int32) int32 {
-	nv := g.get(v) + d
-	g.set(v, nv)
-	return nv
+// grow extends the table to n entries in one step (one growslice at most,
+// not one per missing id).
+func (g *metaTable) grow(n int) {
+	old := len(g.vals)
+	if cap(g.vals) >= n {
+		g.vals = g.vals[:n]
+	} else {
+		vals := make([]nodeMeta, n, max(n, 2*cap(g.vals)))
+		copy(vals, g.vals)
+		g.vals = vals
+	}
+	for i := old; i < n; i++ {
+		g.vals[i] = nodeMeta{pos: -1}
+	}
 }
 
 // reset refills the backing array with the default value, keeping capacity.
-func (g *nodeInts) reset() {
+func (g *metaTable) reset() {
 	for i := range g.vals {
-		g.vals[i] = g.fill
+		g.vals[i] = nodeMeta{pos: -1}
 	}
 }
 
@@ -71,36 +91,68 @@ type loadEntry struct {
 	load int32
 }
 
+// loadHeap is a lazy binary min-heap of (load, node) entries. The sift
+// routines are concrete transcriptions of container/heap's up/down — the
+// exact same comparison and swap sequence, so entry order (and therefore
+// load tie-breaking) is bit-compatible with the interface-based version
+// they replace, without the dynamic dispatch on every comparison.
 type loadHeap []loadEntry
 
-func (h loadHeap) Len() int            { return len(h) }
-func (h loadHeap) Less(i, j int) bool  { return h[i].load < h[j].load }
-func (h loadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *loadHeap) Push(x interface{}) { *h = append(*h, x.(loadEntry)) }
-func (h *loadHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h loadHeap) siftUp(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || h[j].load >= h[i].load {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
 }
 
-// push inserts e without the interface boxing of heap.Push — that boxing
-// was one heap allocation per explored node, the dominant allocator of a
-// whole BFDN run (heap.Fix only takes the receiver, so nothing escapes).
+// siftDown reports whether the entry moved, mirroring container/heap.down.
+func (h loadHeap) siftDown(i int) bool {
+	n := len(h)
+	i0 := i
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].load < h[j1].load {
+			j = j2 // right child
+		}
+		if h[j].load >= h[i].load {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return i > i0
+}
+
+// push appends e and restores heap order (container/heap.Fix on the last
+// element, which reduces to a sift-up).
 func (h *loadHeap) push(e loadEntry) {
 	*h = append(*h, e)
-	heap.Fix(h, len(*h)-1)
+	s := *h
+	if !s.siftDown(len(s) - 1) {
+		s.siftUp(len(s) - 1)
+	}
 }
 
-// dropRoot discards the root entry without the boxing of heap.Pop.
+// dropRoot discards the root entry (container/heap.Fix at index 0 after
+// swapping in the last element).
 func (h *loadHeap) dropRoot() {
 	old := *h
 	n := len(old) - 1
 	old[0] = old[n]
 	*h = old[:n]
 	if n > 0 {
-		heap.Fix(h, 0)
+		s := *h
+		if !s.siftDown(0) {
+			s.siftUp(0)
+		}
 	}
 }
 
@@ -109,11 +161,7 @@ func newAnchorIndex(minLoadOrder bool) *anchorIndex {
 	if !minLoadOrder {
 		sign = -1
 	}
-	return &anchorIndex{
-		pos:   nodeInts{fill: -1},
-		loads: nodeInts{fill: 0},
-		sign:  sign,
-	}
+	return &anchorIndex{sign: sign}
 }
 
 // reset empties the index in place — bucket member lists, heaps and cursors,
@@ -126,8 +174,7 @@ func (a *anchorIndex) reset() {
 		b.cursor = 0
 	}
 	a.minDepth = 0
-	a.loads.reset()
-	a.pos.reset()
+	a.meta.reset()
 }
 
 func (a *anchorIndex) bucket(depth int) *depthBucket {
@@ -141,19 +188,20 @@ func (a *anchorIndex) bucket(depth int) *depthBucket {
 // It is idempotent: a node can reach it twice when an instance is seeded
 // from the view in the same round that delivers the node's explore event.
 func (a *anchorIndex) addOpen(v tree.NodeID, d int) {
-	if a.pos.get(v) >= 0 {
+	m := a.meta.ref(v)
+	if m.pos >= 0 {
 		return
 	}
 	b := a.bucket(d)
-	a.pos.set(v, int32(len(b.members)))
+	m.pos = int32(len(b.members))
 	b.members = append(b.members, v)
-	b.heap.push(loadEntry{node: v, load: int32(a.sign) * a.loads.get(v)})
+	b.heap.push(loadEntry{node: v, load: int32(a.sign) * m.load})
 }
 
 // close removes node v (relative depth d) from the open set. It is a no-op
 // if v is not currently open.
 func (a *anchorIndex) close(v tree.NodeID, d int) {
-	p := a.pos.get(v)
+	p := a.meta.at(v).pos
 	if p < 0 {
 		return
 	}
@@ -163,9 +211,9 @@ func (a *anchorIndex) close(v tree.NodeID, d int) {
 	b.members[p] = moved
 	b.members = b.members[:last]
 	if moved != v {
-		a.pos.set(moved, p)
+		a.meta.ref(moved).pos = p
 	}
-	a.pos.set(v, -1)
+	a.meta.ref(v).pos = -1
 	if b.cursor > int(p) {
 		b.cursor--
 	}
@@ -174,10 +222,11 @@ func (a *anchorIndex) close(v tree.NodeID, d int) {
 
 // changeLoad adjusts n_v by delta, refreshing the heap entry if v is open.
 func (a *anchorIndex) changeLoad(v tree.NodeID, vDepth int, delta int) {
-	nv := a.loads.add(v, int32(delta))
-	if a.pos.get(v) >= 0 {
+	m := a.meta.ref(v)
+	m.load += int32(delta)
+	if m.pos >= 0 {
 		b := a.buckets[vDepth]
-		b.heap.push(loadEntry{node: v, load: int32(a.sign) * nv})
+		b.heap.push(loadEntry{node: v, load: int32(a.sign) * m.load})
 	}
 }
 
@@ -208,7 +257,7 @@ func (a *anchorIndex) pickMinLoad(d int) tree.NodeID {
 			panic(fmt.Sprintf("core: anchor index corrupt: empty heap at depth %d with members %v", d, b.members))
 		}
 		e := b.heap[0]
-		if a.pos.get(e.node) < 0 || e.load != int32(a.sign)*a.loads.get(e.node) {
+		if m := a.meta.at(e.node); m.pos < 0 || e.load != int32(a.sign)*m.load {
 			b.heap.dropRoot() // stale entry
 			continue
 		}

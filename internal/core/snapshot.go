@@ -103,6 +103,7 @@ func (b *BFDN) RestoreState(d *snap.Decoder) error {
 		})
 	}
 	b.stats.IdleSelections = d.Int()
+	b.depthsKnown = false
 	if err := b.idx.restore(d); err != nil {
 		return err
 	}
@@ -111,11 +112,20 @@ func (b *BFDN) RestoreState(d *snap.Decoder) error {
 
 // snapshot serializes the index verbatim: per-depth bucket member order,
 // the lazy heap's backing array (stale entries included), the round-robin
-// cursor, the depth cursor, and the load/position tables.
+// cursor, the depth cursor, and the load/position tables. The merged meta
+// table is written as its two legacy column arrays (loads, then positions)
+// so the wire layout predates the merge; both columns share the merged
+// table's length.
 func (a *anchorIndex) snapshot(e *snap.Encoder) {
 	e.Int(a.minDepth)
-	e.Int32s(a.loads.vals)
-	e.Int32s(a.pos.vals)
+	loads := make([]int32, len(a.meta.vals))
+	pos := make([]int32, len(a.meta.vals))
+	for i, m := range a.meta.vals {
+		loads[i] = m.load
+		pos[i] = m.pos
+	}
+	e.Int32s(loads)
+	e.Int32s(pos)
 	e.Int(len(a.buckets))
 	for _, b := range a.buckets {
 		e.Int(len(b.members))
@@ -134,8 +144,26 @@ func (a *anchorIndex) snapshot(e *snap.Encoder) {
 // restore rebuilds the index from a snapshot, reusing bucket structures.
 func (a *anchorIndex) restore(d *snap.Decoder) error {
 	a.minDepth = d.Int()
-	a.loads.vals = append(a.loads.vals[:0], d.Int32s()...)
-	a.pos.vals = append(a.pos.vals[:0], d.Int32s()...)
+	loads := d.Int32s()
+	pos := d.Int32s()
+	// The two columns share a length when written by this version; accept
+	// differing lengths (pre-merge snapshots grew them independently) by
+	// filling the shorter column with its default.
+	n := len(loads)
+	if len(pos) > n {
+		n = len(pos)
+	}
+	a.meta.vals = a.meta.vals[:0]
+	for i := 0; i < n; i++ {
+		m := nodeMeta{pos: -1}
+		if i < len(loads) {
+			m.load = loads[i]
+		}
+		if i < len(pos) {
+			m.pos = pos[i]
+		}
+		a.meta.vals = append(a.meta.vals, m)
+	}
 	nb := d.Int()
 	if d.Err() != nil || nb < 0 {
 		return fmt.Errorf("core: corrupt anchor index bucket count %d", nb)

@@ -16,7 +16,7 @@ package cte
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"bfdn/internal/sim"
 	"bfdn/internal/tree"
@@ -37,22 +37,21 @@ type CTE struct {
 	seeded  bool
 }
 
-// posEntry pairs a robot with its position for the per-round group-by.
-type posEntry struct {
-	pos tree.NodeID
-	id  int32
-}
+// posEntry packs a robot's position and id into one uint64 (pos<<32 | id,
+// both non-negative), so ordering the keys numerically IS the (pos, id) pair
+// order — robots within a group stay in index order, exactly as the
+// map-based grouping appended them — and the per-round sort runs
+// comparison-free through slices.Sort instead of through sort.Interface
+// dynamic dispatch. Keys are distinct (ids are), so the unstable pdqsort
+// still yields a deterministic permutation.
+type posEntry uint64
 
-// posEntries implements sort.Interface ordering by (pos, id); sorting by the
-// pair (rather than a stable sort on pos alone) keeps robots within a group
-// in index order, exactly as the map-based grouping appended them.
+func packPos(pos tree.NodeID, id int32) posEntry { return posEntry(pos)<<32 | posEntry(id) }
+
+func (e posEntry) pos() tree.NodeID { return tree.NodeID(e >> 32) }
+func (e posEntry) id() int32        { return int32(e & 0xffffffff) }
+
 type posEntries []posEntry
-
-func (e posEntries) Len() int { return len(e) }
-func (e posEntries) Less(i, j int) bool {
-	return e[i].pos < e[j].pos || (e[i].pos == e[j].pos && e[i].id < e[j].id)
-}
-func (e posEntries) Swap(i, j int) { e[i], e[j] = e[j], e[i] }
 
 // target is one alive destination of a group: an explored child with an open
 // subtree, or a dangling edge at the node itself.
@@ -143,16 +142,17 @@ func (c *CTE) SelectMoves(v *sim.View, events []sim.ExploreEvent) ([]sim.Move, e
 	// identical move vector with zero per-round allocation.
 	c.ents = c.ents[:0]
 	for i := 0; i < c.k; i++ {
-		c.ents = append(c.ents, posEntry{pos: v.Pos(i), id: int32(i)})
+		c.ents = append(c.ents, packPos(v.Pos(i), int32(i)))
 	}
-	sort.Sort(&c.ents)
+	slices.Sort(c.ents)
 
 	for lo := 0; lo < len(c.ents); {
+		pos := c.ents[lo].pos()
 		hi := lo + 1
-		for hi < len(c.ents) && c.ents[hi].pos == c.ents[lo].pos {
+		for hi < len(c.ents) && c.ents[hi].pos() == pos {
 			hi++
 		}
-		if err := c.decideGroup(v, c.ents[lo].pos, c.ents[lo:hi]); err != nil {
+		if err := c.decideGroup(v, pos, c.ents[lo:hi]); err != nil {
 			return nil, err
 		}
 		lo = hi
@@ -166,9 +166,9 @@ func (c *CTE) decideGroup(v *sim.View, node tree.NodeID, robots []posEntry) erro
 		// Subtree fully explored: head home.
 		for _, e := range robots {
 			if node == tree.Root {
-				c.moves[e.id] = sim.Move{Kind: sim.Stay}
+				c.moves[e.id()] = sim.Move{Kind: sim.Stay}
 			} else {
-				c.moves[e.id] = sim.Move{Kind: sim.Up}
+				c.moves[e.id()] = sim.Move{Kind: sim.Up}
 			}
 		}
 		return nil
@@ -203,9 +203,9 @@ func (c *CTE) decideGroup(v *sim.View, node tree.NodeID, robots []posEntry) erro
 		t := c.targets[j%len(c.targets)]
 		switch t.kind {
 		case sim.Down:
-			c.moves[e.id] = sim.Move{Kind: sim.Down, Child: t.child}
+			c.moves[e.id()] = sim.Move{Kind: sim.Down, Child: t.child}
 		case sim.Explore:
-			c.moves[e.id] = sim.Move{Kind: sim.Explore, Ticket: t.ticket}
+			c.moves[e.id()] = sim.Move{Kind: sim.Explore, Ticket: t.ticket}
 		}
 	}
 	return nil

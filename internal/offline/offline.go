@@ -92,14 +92,21 @@ func SplitDFS(t *tree.Tree, k int) (SplitDFSResult, error) {
 // DFS is the single-robot online depth-first search as a sim.Algorithm:
 // robot 0 traverses an adjacent unexplored edge when possible and moves up
 // otherwise; any other robots stay at the root. It completes in exactly
-// 2(n−1) rounds.
-type DFS struct{}
+// 2(n−1) rounds. The zero value is ready to use; the move buffer is built
+// lazily on the first round and reused thereafter, so a run allocates once,
+// not once per round.
+type DFS struct {
+	moves []sim.Move
+}
 
-var _ sim.Algorithm = DFS{}
+var _ sim.Algorithm = (*DFS)(nil)
 
 // SelectMoves implements sim.Algorithm.
-func (DFS) SelectMoves(v *sim.View, _ []sim.ExploreEvent) ([]sim.Move, error) {
-	moves := make([]sim.Move, v.K())
+func (d *DFS) SelectMoves(v *sim.View, _ []sim.ExploreEvent) ([]sim.Move, error) {
+	if cap(d.moves) < v.K() {
+		d.moves = make([]sim.Move, v.K())
+	}
+	moves := d.moves[:v.K()]
 	for i := range moves {
 		moves[i] = sim.Move{Kind: sim.Stay}
 	}

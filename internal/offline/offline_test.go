@@ -123,7 +123,7 @@ func TestOnlineDFSAlgorithm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(w, DFS{}, 0)
+	res, err := sim.Run(w, &DFS{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,26 +32,27 @@ func (c *Checker) Check() error {
 		if p != prev && w.t.Parent(p) != prev && w.t.Parent(prev) != p {
 			return fmt.Errorf("sim: robot %d jumped from %d to %d (not adjacent)", i, prev, p)
 		}
-		if !w.explored[p] {
+		if !w.explored(p) {
 			return fmt.Errorf("sim: robot %d stands on unexplored node %d", i, p)
 		}
 	}
 	count := 0
 	discovered := 0
 	for v := 0; v < w.t.N(); v++ {
-		if !w.explored[v] {
+		if !w.explored(tree.NodeID(v)) {
 			continue
 		}
 		count++
 		discovered += w.t.NumChildren(tree.NodeID(v))
-		if tree.NodeID(v) != tree.Root && !w.explored[w.t.Parent(tree.NodeID(v))] {
+		if tree.NodeID(v) != tree.Root && !w.explored(w.t.Parent(tree.NodeID(v))) {
 			return fmt.Errorf("sim: explored node %d has unexplored parent", v)
 		}
-		if int(w.nextKid[v]) > w.t.NumChildren(tree.NodeID(v)) {
-			return fmt.Errorf("sim: node %d has explored-children cursor %d beyond degree", v, w.nextKid[v])
+		nk := w.nextKid(tree.NodeID(v))
+		if nk < 0 {
+			return fmt.Errorf("sim: node %d has dangling count %d beyond degree", v, w.dangling[v])
 		}
-		for j := int32(0); j < w.nextKid[v]; j++ {
-			if !w.explored[w.t.Children(tree.NodeID(v))[j]] {
+		for j := 0; j < nk; j++ {
+			if !w.explored(w.t.Children(tree.NodeID(v))[j]) {
 				return fmt.Errorf("sim: node %d: child cursor covers unexplored child", v)
 			}
 		}

@@ -80,7 +80,7 @@ func TestCheckerDetectsCorruptedState(t *testing.T) {
 	}
 	// Corrupt connectivity: mark a node explored without its parent.
 	w.exploredCount = 2
-	w.explored[4] = true
+	w.dangling[4] = int32(w.t.NumChildren(4))
 	if err := c.Check(); err == nil {
 		t.Error("checker missed a disconnected explored set")
 	}

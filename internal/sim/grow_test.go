@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bfdn/internal/tree"
+)
+
+// TestResetGrowCycleReinitializesArrays drives one world through a
+// grow/shrink/grow cycle with full runs in between, so the third Reset
+// reuses backing arrays still holding a completed run's state (explored
+// flags, reservation stamps, positions). Every per-node and per-robot array
+// must read as freshly constructed afterwards — the CSR flattening's grow()
+// helper deliberately leaves contents unspecified, making Reset solely
+// responsible for re-initialization.
+func TestResetGrowCycleReinitializesArrays(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	big := tree.Random(800, 30, rng)
+	small := tree.Path(6)
+	w, err := NewWorld(big, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(w, soloDFS{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(small, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(w, soloDFS{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The grow step back to the big tree: len(dangling) < big.N() right now,
+	// but the capacity from the first run is still there — along with the
+	// first run's data in it.
+	if err := w.Reset(big, 5); err != nil {
+		t.Fatal(err)
+	}
+	if w.exploredCount != 1 {
+		t.Errorf("exploredCount = %d after Reset, want 1", w.exploredCount)
+	}
+	for i, d := range w.dangling {
+		want := int32(-1)
+		if i == int(tree.Root) {
+			want = int32(big.NumChildren(tree.Root))
+		}
+		if d != want {
+			t.Fatalf("dangling[%d] = %d after grow Reset, want %d", i, d, want)
+		}
+	}
+	for i, p := range w.pos {
+		if p != tree.Root {
+			t.Fatalf("pos[%d] = %d after grow Reset, want root", i, p)
+		}
+	}
+	if w.round != 0 {
+		t.Errorf("round = %d after Reset, want 0", w.round)
+	}
+	got, err := Run(w, soloDFS{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runFresh(t, big, 5)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("grow-cycle run %+v differs from fresh run %+v", got, want)
+	}
+}
+
+// TestStampBaseAdvancesAcrossResets pins the invariant the unswept
+// reservation table depends on: every stamp a run can write is at most
+// stampBase+round, and Reset advances stampBase strictly past that, so
+// stale words — including ones re-exposed by capacity reuse — always
+// compare as "not this round". The Resets here happen mid-round with live
+// reservations outstanding, the adversarial case for a sweeping-free table.
+func TestStampBaseAdvancesAcrossResets(t *testing.T) {
+	tr := tree.Star(9)
+	nd := tr.NumChildren(tree.Root)
+	w, err := NewWorld(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := w.View()
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 2; i++ {
+			if _, ok := v.ReserveDangling(tree.Root); !ok {
+				t.Fatalf("cycle %d: reservation %d failed", cycle, i)
+			}
+		}
+		if got := v.UnreservedDanglingAt(tree.Root); got != nd-2 {
+			t.Fatalf("cycle %d: %d unreserved with 2 live reservations, want %d", cycle, got, nd-2)
+		}
+		prevBase, prevRound := w.stampBase, w.round
+		if err := w.Reset(tr, 3); err != nil {
+			t.Fatal(err)
+		}
+		if w.stampBase <= prevBase+int64(prevRound) {
+			t.Fatalf("cycle %d: stampBase %d did not advance past %d+%d — stale stamps could read as current",
+				cycle, w.stampBase, prevBase, prevRound)
+		}
+		if got := v.UnreservedDanglingAt(tree.Root); got != nd {
+			t.Fatalf("cycle %d: %d unreserved after Reset, want %d (phantom reservation)", cycle, got, nd)
+		}
+	}
+}
+
+// TestResetGrowKReinitializesRobots grows only the robot count: the new
+// robots' positions and per-robot metrics must start from scratch even
+// though the per-node arrays are reused untouched-size.
+func TestResetGrowKReinitializesRobots(t *testing.T) {
+	tr := tree.KAry(2, 4)
+	w, err := NewWorld(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(w, soloDFS{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(tr, 24); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.pos) != 24 || len(w.metrics.MovesPerRobot) != 24 {
+		t.Fatalf("per-robot arrays sized %d/%d after Reset, want 24/24",
+			len(w.pos), len(w.metrics.MovesPerRobot))
+	}
+	for i := 0; i < 24; i++ {
+		if w.pos[i] != tree.Root {
+			t.Errorf("pos[%d] = %d, want root", i, w.pos[i])
+		}
+		if w.metrics.MovesPerRobot[i] != 0 {
+			t.Errorf("MovesPerRobot[%d] = %d, want 0", i, w.metrics.MovesPerRobot[i])
+		}
+	}
+}

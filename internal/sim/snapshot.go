@@ -37,16 +37,27 @@ const checkpointVersion = 1
 // explored set, per-node explored-children cursors, the round counter and
 // the full metrics. Per-round reservation state is deliberately excluded —
 // checkpoints are taken between rounds, where no reservation is live (a
-// Ticket never outlives the round that issued it).
+// Ticket never outlives the round that issued it). The explored and cursor
+// arrays are materialized from the flattened dangling words (DESIGN.md
+// S31), keeping the wire format identical to the pre-flattening layout.
 func (w *World) Snapshot(e *snap.Encoder) {
+	n := w.t.N()
 	e.Int(w.k)
-	e.Int(w.t.N())
+	e.Int(n)
 	for _, p := range w.pos {
 		e.Int32(int32(p))
 	}
-	e.Bools(w.explored)
+	explored := make([]bool, n)
+	nextKid := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if w.dangling[v] >= 0 {
+			explored[v] = true
+			nextKid[v] = int32(w.nextKid(tree.NodeID(v)))
+		}
+	}
+	e.Bools(explored)
 	e.Int(w.exploredCount)
-	e.Int32s(w.nextKid)
+	e.Int32s(nextKid)
 	e.Int(w.round)
 	e.Int(w.metrics.Rounds)
 	e.Int(w.metrics.TotalRounds)
@@ -76,18 +87,26 @@ func (w *World) Restore(d *snap.Decoder) error {
 	if d.Err() == nil && len(explored) != n {
 		return fmt.Errorf("sim: snapshot explored set has %d nodes, want %d", len(explored), n)
 	}
-	copy(w.explored, explored)
 	w.exploredCount = d.Int()
 	nextKid := d.Int32s()
 	if d.Err() == nil && len(nextKid) != n {
 		return fmt.Errorf("sim: snapshot cursor set has %d nodes, want %d", len(nextKid), n)
 	}
-	copy(w.nextKid, nextKid)
-	w.round = d.Int()
-	for i := 0; i < n; i++ {
-		w.reservedRound[i] = -1
-		w.reservedCount[i] = 0
+	if d.Err() == nil {
+		// Rebuild the flattened per-node words; every stored reservation
+		// belonged to a round strictly before the restored one, so none can
+		// be live. Advancing the stamp base past every stamp this world has
+		// written invalidates the res table without sweeping it.
+		w.stampBase += int64(w.round) + 1
+		for v := 0; v < n; v++ {
+			d := int32(-1)
+			if explored[v] {
+				d = int32(w.t.NumChildren(tree.NodeID(v))) - nextKid[v]
+			}
+			w.dangling[v] = d
+		}
 	}
+	w.round = d.Int()
 	w.metrics.Rounds = d.Int()
 	w.metrics.TotalRounds = d.Int()
 	w.metrics.Moves = d.Int64()
@@ -153,6 +172,23 @@ func RestoreCheckpoint(state []byte, w *World, a Algorithm) ([]ExploreEvent, err
 			Child:       tree.NodeID(d.Int32()),
 			Robot:       d.Int(),
 			NewDangling: d.Int(),
+		}
+	}
+	// ParentDangling is derived state and not part of the checkpoint format.
+	// Checkpoints are taken between rounds, so the restored world's dangling
+	// counts are the end-of-round values; replaying them per parent (events
+	// are in round order, counts ascend from the final value) reproduces the
+	// per-event counts Apply recorded. The scan is quadratic in the (≤ k)
+	// pending events, which only runs once per restore.
+	if d.Err() == nil {
+		for i := range events {
+			later := 0
+			for _, e := range events[i+1:] {
+				if e.Parent == events[i].Parent {
+					later++
+				}
+			}
+			events[i].ParentDangling = w.danglingAt(events[i].Parent) + later
 		}
 	}
 	if err := s.RestoreState(d); err != nil {

@@ -30,7 +30,7 @@ func (v *View) Positions(dst []tree.NodeID) []tree.NodeID {
 
 // Explored reports whether node id has been explored.
 func (v *View) Explored(id tree.NodeID) bool {
-	return id >= 0 && int(id) < len(v.w.explored) && v.w.explored[id]
+	return id >= 0 && int(id) < len(v.w.dangling) && v.w.dangling[id] >= 0
 }
 
 // ExploredCount reports the number of explored nodes.
@@ -45,7 +45,16 @@ func (v *View) DepthOf(id tree.NodeID) int { return v.w.t.DepthOf(id) }
 // ExploredChildren returns the explored children of an explored node, in the
 // order they were discovered. The slice is shared; do not modify.
 func (v *View) ExploredChildren(id tree.NodeID) []tree.NodeID {
-	return v.w.t.Children(id)[:v.w.nextKid[id]]
+	children := v.w.t.Children(id)
+	d := v.w.dangling[id]
+	if d <= 0 {
+		// Fully explored (or, defensively, unexplored: no explored children).
+		if d < 0 {
+			return children[:0]
+		}
+		return children
+	}
+	return children[:len(children)-int(d)]
 }
 
 // DanglingAt reports the number of dangling edges at an explored node.

@@ -56,29 +56,53 @@ type ExploreEvent struct {
 	// NewDangling is the number of dangling edges at the discovered child,
 	// i.e. its number of hidden children.
 	NewDangling int
+	// ParentDangling is the number of dangling edges remaining at Parent
+	// right after this discovery. Events of a round are ordered, so a
+	// consumer watching for a node's last dangling edge can test this field
+	// instead of re-probing the view: exactly one event per closed parent
+	// carries 0. It is derived state — checkpoint restore recomputes it from
+	// the world rather than persisting it.
+	ParentDangling int
 }
 
 // World is the hidden environment: the offline tree plus the mutable
 // exploration state. Test and benchmark harnesses hold a *World; algorithms
 // hold only the *View obtained from View().
+//
+// Per-node mutable state is flattened onto the CSR node indexing (DESIGN.md
+// S31) as three parallel arrays, split by access frequency. dangling is the
+// hot word: it doubles as the explored flag (-1 unexplored, ≥ 0 remaining
+// dangling edges), and every explored-check, dangling probe and failed
+// reservation attempt — the dominant load sites of a BFDN run — touch only
+// this 4-byte-per-node array, which fits in L2 even for 100k-node trees.
+// The explored-children cursor of the CSR child range is derived, not
+// stored: dangling edges are handed out in port order, so the explored
+// children of v are exactly Children(v)[:NumChildren(v)-dangling].
+//
+// res holds the cold reservation words, touched only when a reservation is
+// actually claimable. They implement per-round dangling reservation by
+// stamping: a count is live only while its stamp equals stampBase+round,
+// so neither rounds nor Reset/Restore ever sweep the table. The stamp is
+// int64 on every platform: a narrower stamp would silently truncate the
+// comparison once the round counter passes its range, re-issuing
+// already-reserved dangling edges (the PR 5 int32 regression, pinned by
+// TestReservationSurvivesLargeRound).
 type World struct {
 	t *tree.Tree
 	k int
 
 	pos           []tree.NodeID
-	explored      []bool
 	exploredCount int
-	// nextKid[v] is the number of children of v already explored; since
-	// dangling edges are handed out in port order, the explored children of v
-	// are exactly children(v)[:nextKid[v]].
-	nextKid []int32
-	// reservedRound/reservedCount implement per-round dangling reservation.
-	// reservedRound stores round values and deliberately shares round's int
-	// type: a narrower element type would silently truncate the comparison in
-	// reservedThisRound once the round counter passes its range, re-issuing
-	// already-reserved dangling edges.
-	reservedRound []int
-	reservedCount []int32
+	dangling      []int32
+	res           []resWord
+	// stampBase offsets the reservation stamps from the round counter:
+	// the stamp for the current round is stampBase+round. Reset and Restore
+	// advance stampBase past every stamp the previous run could have
+	// written, which is what lets them skip clearing the res table — any
+	// stale word compares as "not this round". The zero value is valid
+	// too: a zeroed resWord reads as stamp 0, count 0, and a zero count
+	// is exactly what an unstamped node reports.
+	stampBase int64
 
 	round    int
 	metrics  Metrics
@@ -100,17 +124,15 @@ func NewWorld(t *tree.Tree, k int) (*World, error) {
 		t:             t,
 		k:             k,
 		pos:           make([]tree.NodeID, k),
-		explored:      make([]bool, t.N()),
 		exploredCount: 1,
-		nextKid:       make([]int32, t.N()),
-		reservedRound: make([]int, t.N()),
-		reservedCount: make([]int32, t.N()),
+		dangling:      make([]int32, t.N()),
+		res:           make([]resWord, t.N()),
 		metrics:       newMetrics(k),
 	}
-	for i := range w.reservedRound {
-		w.reservedRound[i] = -1
+	for i := range w.dangling {
+		w.dangling[i] = -1
 	}
-	w.explored[tree.Root] = true
+	w.dangling[tree.Root] = int32(t.NumChildren(tree.Root))
 	w.metrics.DiscoveredEdges = t.NumChildren(tree.Root)
 	w.view = &View{w: w}
 	return w, nil
@@ -134,17 +156,15 @@ func (w *World) Reset(t *tree.Tree, k int) error {
 	for i := range w.pos {
 		w.pos[i] = tree.Root
 	}
-	w.explored = grow(w.explored, n)
-	w.nextKid = grow(w.nextKid, n)
-	w.reservedRound = grow(w.reservedRound, n)
-	w.reservedCount = grow(w.reservedCount, n)
+	w.dangling = grow(w.dangling, n)
+	w.res = grow(w.res, n)
+	// Advance the stamp base past every stamp the previous run wrote
+	// (all ≤ stampBase+round), instead of sweeping the res table.
+	w.stampBase += int64(w.round) + 1
 	for i := 0; i < n; i++ {
-		w.explored[i] = false
-		w.nextKid[i] = 0
-		w.reservedRound[i] = -1
-		w.reservedCount[i] = 0
+		w.dangling[i] = -1
 	}
-	w.explored[tree.Root] = true
+	w.dangling[tree.Root] = int32(t.NumChildren(tree.Root))
 	w.exploredCount = 1
 	w.round = 0
 	w.metrics.reset(k)
@@ -217,33 +237,62 @@ func (w *World) Tree() *tree.Tree { return w.t }
 // ExploredCount reports the number of explored nodes.
 func (w *World) ExploredCount() int { return w.exploredCount }
 
+// explored reports whether v has been explored.
+func (w *World) explored(v tree.NodeID) bool { return w.dangling[v] >= 0 }
+
+// nextKid reports the number of explored children of an explored node v
+// (the CSR child-range cursor, derived from the dangling count).
+func (w *World) nextKid(v tree.NodeID) int {
+	return w.t.NumChildren(v) - int(w.dangling[v])
+}
+
 // danglingAt reports the number of dangling edges at v (v must be explored).
 func (w *World) danglingAt(v tree.NodeID) int {
-	return w.t.NumChildren(v) - int(w.nextKid[v])
+	return int(w.dangling[v])
+}
+
+// resWord is one node's reservation state: the stamp (stampBase+round at
+// the time of the claim) and the number of dangling edges handed out under
+// that stamp, in one 16-byte word so a claim touches a single cache line
+// of reservation state.
+type resWord struct {
+	stamp int64
+	count int32
+	_     int32
 }
 
 func (w *World) reservedThisRound(v tree.NodeID) int {
-	if w.reservedRound[v] != w.round {
+	if w.res[v].stamp != w.stampBase+int64(w.round) {
 		return 0
 	}
-	return int(w.reservedCount[v])
+	return int(w.res[v].count)
 }
 
-// reserveDangling reserves the next dangling edge at v for this round.
+// reserveDangling reserves the next dangling edge at v for this round. The
+// fail-fast path — unexplored node, or no dangling edge at all — reads only
+// the hot dangling word; the reservation stamp table is touched only when
+// a claim is possible.
 func (w *World) reserveDangling(v tree.NodeID) (Ticket, bool) {
-	if !w.explored[v] {
+	d := w.dangling[v]
+	if d <= 0 {
+		// Unexplored (-1) or no dangling edge at all (0).
 		return Ticket{}, false
 	}
-	idx := int(w.nextKid[v]) + w.reservedThisRound(v)
-	if idx >= w.t.NumChildren(v) {
-		return Ticket{}, false
+	stamp := w.stampBase + int64(w.round)
+	rs := &w.res[v]
+	rc := int32(0)
+	if rs.stamp == stamp {
+		rc = rs.count
+		if rc >= d {
+			return Ticket{}, false
+		}
+	} else {
+		rs.stamp = stamp
 	}
-	if w.reservedRound[v] != w.round {
-		w.reservedRound[v] = w.round
-		w.reservedCount[v] = 0
-	}
-	w.reservedCount[v]++
-	return Ticket{from: v, child: w.t.Children(v)[idx], round: w.round}, true
+	children := w.t.Children(v)
+	child := children[len(children)-int(d)+int(rc)]
+	rs.count = rc + 1
+	return Ticket{from: v, child: child, round: w.round}, true
 }
 
 // Apply executes one synchronous round. moves must contain exactly one move
@@ -258,8 +307,12 @@ func (w *World) Apply(moves []Move) ([]ExploreEvent, bool, error) {
 	events := w.evBuf[:0]
 	anyMoved := false
 	anyStill := false
-	for i, m := range moves {
-		from := w.pos[i]
+	// Hoist the hot fields: the loop body runs once per robot per round and
+	// every indirection through w costs a dependent load.
+	t, pos, dangling := w.t, w.pos, w.dangling
+	for i := range moves {
+		m := &moves[i]
+		from := pos[i]
 		switch m.Kind {
 		case Stay:
 			anyStill = true
@@ -267,17 +320,17 @@ func (w *World) Apply(moves []Move) ([]ExploreEvent, bool, error) {
 			if from == tree.Root {
 				return nil, false, fmt.Errorf("sim: round %d: robot %d moves up from root", w.round, i)
 			}
-			w.pos[i] = w.t.Parent(from)
+			pos[i] = t.Parent(from)
 			w.metrics.addMove(i)
 			anyMoved = true
 		case Down:
-			if m.Child < 0 || int(m.Child) >= w.t.N() || w.t.Parent(m.Child) != from {
+			if m.Child < 0 || int(m.Child) >= t.N() || t.Parent(m.Child) != from {
 				return nil, false, fmt.Errorf("sim: round %d: robot %d: %d is not a child of %d", w.round, i, m.Child, from)
 			}
-			if !w.explored[m.Child] {
+			if dangling[m.Child] < 0 {
 				return nil, false, fmt.Errorf("sim: round %d: robot %d: Down to unexplored child %d", w.round, i, m.Child)
 			}
-			w.pos[i] = m.Child
+			pos[i] = m.Child
 			w.metrics.addMove(i)
 			anyMoved = true
 		case Explore:
@@ -288,29 +341,31 @@ func (w *World) Apply(moves []Move) ([]ExploreEvent, bool, error) {
 			if tk.from != from {
 				return nil, false, fmt.Errorf("sim: round %d: robot %d at %d uses ticket issued at %d", w.round, i, from, tk.from)
 			}
-			if w.explored[tk.child] {
+			if dangling[tk.child] >= 0 {
 				// The ticket was issued this round (checked above), so the
 				// edge was dangling when the round started: another robot
 				// sharing the ticket discovered it first. Co-traversal of a
 				// dangling edge by a group is legal in the model (CTE relies
 				// on it); only the first robot triggers the explore event.
-				w.pos[i] = tk.child
+				pos[i] = tk.child
 				w.metrics.addMove(i)
 				anyMoved = true
 				continue
 			}
-			w.explored[tk.child] = true
+			nc := t.NumChildren(tk.child)
+			dangling[tk.child] = int32(nc)
 			w.exploredCount++
-			w.nextKid[from]++
-			w.pos[i] = tk.child
+			dangling[from]--
+			pos[i] = tk.child
 			w.metrics.addMove(i)
 			w.metrics.EdgeExplorations++
-			w.metrics.DiscoveredEdges += w.t.NumChildren(tk.child)
+			w.metrics.DiscoveredEdges += nc
 			events = append(events, ExploreEvent{
-				Parent:      from,
-				Child:       tk.child,
-				Robot:       i,
-				NewDangling: w.t.NumChildren(tk.child),
+				Parent:         from,
+				Child:          tk.child,
+				Robot:          i,
+				NewDangling:    nc,
+				ParentDangling: int(dangling[from]),
 			})
 			anyMoved = true
 		default:
@@ -364,7 +419,17 @@ func Run(w *World, a Algorithm, maxRounds int64) (Result, error) {
 // context's error (wrapped; test with errors.Is) and a zero Result; the
 // world is left mid-run in a consistent state.
 func RunContext(ctx context.Context, w *World, a Algorithm, maxRounds int64) (Result, error) {
-	return RunCheckpointedContext(ctx, w, a, maxRounds, nil, 0, nil)
+	return runCheckpointed(ctx, w, a, maxRounds, nil, 0, nil, nil)
+}
+
+// RunRecycledContext is RunContext for engine callers that recycle worlds
+// and results (internal/sweep): the returned Result's MovesPerRobot is
+// written into movesPerRobot — which must have length K() — instead of a
+// freshly allocated clone, so a steady-state sweep point allocates nothing
+// for its report. The caller owns the buffer; handing out arena-carved
+// slices keeps per-point results independent.
+func RunRecycledContext(ctx context.Context, w *World, a Algorithm, maxRounds int64, movesPerRobot []int64) (Result, error) {
+	return runCheckpointed(ctx, w, a, maxRounds, nil, 0, nil, movesPerRobot)
 }
 
 // RunCheckpointedContext is RunContext for resumable runs (DESIGN.md S30).
@@ -375,6 +440,10 @@ func RunContext(ctx context.Context, w *World, a Algorithm, maxRounds int64) (Re
 // every > 0 and save is non-nil, save receives an EncodeCheckpoint buffer
 // after each block of every committed rounds; a save error aborts the run.
 func RunCheckpointedContext(ctx context.Context, w *World, a Algorithm, maxRounds int64, events []ExploreEvent, every int, save func([]byte) error) (Result, error) {
+	return runCheckpointed(ctx, w, a, maxRounds, events, every, save, nil)
+}
+
+func runCheckpointed(ctx context.Context, w *World, a Algorithm, maxRounds int64, events []ExploreEvent, every int, save func([]byte) error, movesPerRobot []int64) (Result, error) {
 	if maxRounds <= 0 {
 		n, d := int64(w.t.N()), int64(w.t.Depth())
 		maxRounds = 3*n*d + 2*d + 4
@@ -393,11 +462,18 @@ func RunCheckpointedContext(ctx context.Context, w *World, a Algorithm, maxRound
 		}
 		events = ev
 		if !anyMoved {
-			return Result{
-				Metrics:       w.Metrics(),
+			res := Result{
+				Metrics:       w.metrics,
 				FullyExplored: w.FullyExplored(),
 				AllAtRoot:     w.AllAtRoot(),
-			}, nil
+			}
+			if movesPerRobot != nil {
+				copy(movesPerRobot, w.metrics.MovesPerRobot)
+				res.Metrics.MovesPerRobot = movesPerRobot
+			} else {
+				res.Metrics.MovesPerRobot = append([]int64(nil), w.metrics.MovesPerRobot...)
+			}
+			return res, nil
 		}
 		if every > 0 && save != nil && w.round%every == 0 {
 			state, err := EncodeCheckpoint(w, a, events)

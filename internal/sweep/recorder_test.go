@@ -22,7 +22,7 @@ func dfsPoints(t *testing.T, n, count int) []Point {
 	pts := make([]Point, count)
 	for i := range pts {
 		pts[i] = Point{Tree: tr, K: 2, NewAlgorithm: func(k int, _ *rand.Rand) sim.Algorithm {
-			return offline.DFS{}
+			return &offline.DFS{}
 		}}
 	}
 	return pts

@@ -165,6 +165,42 @@ func Run(points []Point, opt Options) ([]Result, Stats) {
 	return RunContext(context.Background(), points, opt)
 }
 
+// workerState is everything one synchronous worker recycles across the
+// points it executes: the world (sim.World.Reset), the algorithm instance
+// (Point.ResetAlgorithm), the rng (reseeded in place, sparing the ~5KB
+// rngSource re-allocation every point), and an int64 arena that per-point
+// MovesPerRobot report slices are carved from. Results must stay
+// independent after the sweep returns, so carved slices are never reused —
+// the arena only batches their allocation, turning k-robot grids from one
+// make per point into one make per arenaChunk/k points.
+type workerState struct {
+	world *sim.World
+	alg   sim.Algorithm
+	rng   *rand.Rand
+	arena []int64
+}
+
+// arenaChunk is the minimum arena block, in int64s. 4096 words (32KB) keeps
+// blocks comfortably under the large-object threshold while amortizing to
+// ~one allocation per 64 points at k=64.
+const arenaChunk = 4096
+
+// movesBuf carves a length-k report slice off the worker's arena,
+// full-capacity-clipped so appends by the caller can never bleed into the
+// next point's slice.
+func (ws *workerState) movesBuf(k int) []int64 {
+	if len(ws.arena) < k {
+		n := arenaChunk
+		if k > n {
+			n = k
+		}
+		ws.arena = make([]int64, n)
+	}
+	buf := ws.arena[:k:k]
+	ws.arena = ws.arena[k:]
+	return buf
+}
+
 // RunContext is Run with cooperative cancellation. The context is checked
 // before each point is started and once per simulated round inside a running
 // point (sim.RunContext), so after cancellation every worker stops within one
@@ -173,17 +209,15 @@ func Run(points []Point, opt Options) ([]Result, Stats) {
 // the context's error in Result.Err — partial results are never discarded.
 func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, Stats) {
 	results := make([]Result, len(points))
-	worlds := make([]*sim.World, 0)
-	algs := make([]sim.Algorithm, 0)
+	var ws []workerState
 	stats := runPool(ctx, len(points), opt.Workers, opt.Recorder, func(workers int) {
-		worlds = make([]*sim.World, workers)
-		algs = make([]sim.Algorithm, workers)
+		ws = make([]workerState, workers)
 	}, func(pctx context.Context, wk, i int, canceled bool) bool {
 		if canceled {
 			results[i] = Result{Point: i, Seed: DeriveSeed(opt.BaseSeed, opt.seedIndex(i)),
 				Err: fmt.Errorf("sweep: point %d: %w", i, ctx.Err())}
 		} else {
-			results[i] = runPoint(pctx, &worlds[wk], &algs[wk], points[i], i, opt)
+			results[i] = runPoint(pctx, &ws[wk], points[i], i, opt)
 		}
 		return results[i].Err != nil
 	}, func(i int) {
@@ -305,11 +339,13 @@ func runPool(ctx context.Context, n, workers int, recorder *Recorder,
 	return stats
 }
 
-// runPoint executes one point on the worker's recycled world. world and
-// prevAlg are the worker-local slots: nil before the first point; the world
-// is always reused (via Reset), the algorithm only when the point's
-// ResetAlgorithm hook accepts the previous instance.
-func runPoint(ctx context.Context, world **sim.World, prevAlg *sim.Algorithm, p Point, index int, opt Options) Result {
+// runPoint executes one point on the worker's recycled state: the world is
+// always reused (via Reset), the rng is reseeded in place, the algorithm is
+// reused when the point's ResetAlgorithm hook accepts the previous instance,
+// and the result's MovesPerRobot is carved from the worker's arena
+// (sim.RunRecycledContext), so a steady-state point allocates nothing in the
+// engine itself.
+func runPoint(ctx context.Context, ws *workerState, p Point, index int, opt Options) Result {
 	res := Result{Point: index, Seed: DeriveSeed(opt.BaseSeed, opt.seedIndex(index))}
 	if p.Tree == nil {
 		res.Err = fmt.Errorf("sweep: point %d: nil tree", index)
@@ -319,7 +355,7 @@ func runPoint(ctx context.Context, world **sim.World, prevAlg *sim.Algorithm, p 
 		res.Err = fmt.Errorf("sweep: point %d: nil algorithm factory", index)
 		return res
 	}
-	w := *world
+	w := ws.world
 	if w == nil {
 		nw, err := sim.NewWorld(p.Tree, p.K)
 		if err != nil {
@@ -327,25 +363,31 @@ func runPoint(ctx context.Context, world **sim.World, prevAlg *sim.Algorithm, p 
 			return res
 		}
 		w = nw
-		*world = w
+		ws.world = w
 	} else if err := w.Reset(p.Tree, p.K); err != nil {
 		res.Err = fmt.Errorf("sweep: point %d: %w", index, err)
 		return res
 	}
-	rng := rand.New(rand.NewSource(int64(res.Seed)))
+	if ws.rng == nil {
+		ws.rng = rand.New(rand.NewSource(int64(res.Seed)))
+	} else {
+		// Reseeding leaves the source in the exact state NewSource(seed)
+		// constructs, so recycled and fresh workers draw identical streams.
+		ws.rng.Seed(int64(res.Seed))
+	}
 	var alg sim.Algorithm
-	if p.ResetAlgorithm != nil && *prevAlg != nil {
-		alg = p.ResetAlgorithm(*prevAlg, p.K, rng)
+	if p.ResetAlgorithm != nil && ws.alg != nil {
+		alg = p.ResetAlgorithm(ws.alg, p.K, ws.rng)
 	}
 	if alg == nil {
-		alg = p.NewAlgorithm(p.K, rng)
+		alg = p.NewAlgorithm(p.K, ws.rng)
 	}
 	if alg == nil {
 		res.Err = fmt.Errorf("sweep: point %d: algorithm factory returned nil", index)
 		return res
 	}
-	*prevAlg = alg
-	r, err := sim.RunContext(ctx, w, alg, p.MaxRounds)
+	ws.alg = alg
+	r, err := sim.RunRecycledContext(ctx, w, alg, p.MaxRounds, ws.movesBuf(w.K()))
 	if err != nil {
 		res.Err = fmt.Errorf("sweep: point %d: %w", index, err)
 		return res

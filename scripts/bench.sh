@@ -6,8 +6,12 @@
 # TreeGeneration, SweepE14) plus the sweep-engine reuse variants with
 # -benchmem, parses `go test -bench` output into JSON (ns/op, B/op,
 # allocs/op, and any extra ReportMetric units such as points/sec and
-# allocs/point), and embeds the pre-PR-5 baseline so before/after is one
-# file. See EXPERIMENTS.md ("Engine cost") for how to read the numbers.
+# allocs/point), and embeds the previous snapshot's results as the baseline
+# so before/after is one file. The header records the environment the
+# numbers were taken on (go version, GOMAXPROCS, CPU model) — comparisons
+# across machines are comparisons of machines, not code. See EXPERIMENTS.md
+# ("Engine cost") for how to read the numbers, and scripts/benchdiff.sh for
+# the delta table between two snapshots.
 #
 # Environment knobs:
 #   BENCH_PR    suffix for the output file (default: highest existing
@@ -19,8 +23,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-# Default the suffix to one past the highest committed snapshot.
-next_pr() {
+# highest_pr prints the largest numeric BENCH_*.json suffix, or 0.
+highest_pr() {
     highest=0
     for f in BENCH_*.json; do
         [ -e "$f" ] || continue
@@ -31,32 +35,59 @@ next_pr() {
         esac
         [ "$num" -gt "$highest" ] && highest=$num
     done
-    echo $((highest + 1))
+    echo "$highest"
 }
 
-PR="${BENCH_PR:-$(next_pr)}"
+PREV="$(highest_pr)"
+PR="${BENCH_PR:-$((PREV + 1))}"
 BENCHTIME="${BENCHTIME:-5x}"
 OUT="BENCH_${PR}.json"
 BENCH_RE='^(BenchmarkBFDNExplore|BenchmarkCTEExplore|BenchmarkTreeMiningExplore|BenchmarkPotentialExplore|BenchmarkTreeGeneration|BenchmarkSweepE14|BenchmarkBFDNExploreSweep|BenchmarkCTEExploreSweep|BenchmarkTreeMiningExploreSweep|BenchmarkPotentialExploreSweep)$'
 
+# Environment header fields. CPU model comes from /proc/cpuinfo on Linux and
+# degrades to "unknown" elsewhere; GOMAXPROCS defaults to the core count
+# unless the caller overrides it in the environment.
+GO_VERSION="$(go env GOVERSION)"
+MAXPROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
+CPU_MODEL="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+[ -n "$CPU_MODEL" ] || CPU_MODEL="unknown"
+
+# The baseline is the previous snapshot's results keyed by benchmark name —
+# derived, not hand-maintained, so it can never drift from what was actually
+# measured. The first snapshot on a fresh checkout gets an empty baseline.
+BASELINE_FILE=""
+[ "$PREV" -gt 0 ] && BASELINE_FILE="BENCH_${PREV}.json"
+
 raw=$(go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" .)
+
+# A non-numeric suffix (CI uses BENCH_PR=smoke) is emitted as a JSON string.
+case "$PR" in
+    *[!0-9]*) PR_JSON="\"$PR\"" ;;
+    *) PR_JSON="$PR" ;;
+esac
 
 {
     printf '{\n'
-    printf '  "pr": %s,\n' "$PR"
+    printf '  "pr": %s,\n' "$PR_JSON"
     printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "benchtime": "%s",\n' "$BENCHTIME"
-    # Pre-PR-5 numbers (same workloads, benchtime 5x) for the before/after
-    # table in EXPERIMENTS.md: maps-and-slices tree/cte layers, int32
-    # reservedRound, no algorithm recycling.
-    cat <<'EOF'
-  "baseline": {
-    "BenchmarkTreeGeneration": {"ns/op": 20046000, "B/op": 18027952, "allocs/op": 65587},
-    "BenchmarkBFDNExplore": {"ns/op": 20404000, "B/op": 2861920, "allocs/op": 1140},
-    "BenchmarkCTEExplore": {"ns/op": 39034000, "B/op": 9415032, "allocs/op": 288676},
-    "BenchmarkSweepE14/workers=1": {"points/sec": 1085, "allocs/point": 6157}
-  },
+    printf '  "goVersion": "%s",\n' "$GO_VERSION"
+    printf '  "gomaxprocs": %s,\n' "$MAXPROCS"
+    printf '  "cpu": "%s",\n' "$CPU_MODEL"
+    if [ -n "$BASELINE_FILE" ]; then
+        printf '  "baselineFrom": "%s",\n' "$BASELINE_FILE"
+        printf '  "baseline": '
+        python3 - "$BASELINE_FILE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    prev = json.load(f)
+out = {r["name"]: r["metrics"] for r in prev.get("results", [])}
+body = json.dumps(out, indent=4)
+print("\n".join("  " + l if i else l for i, l in enumerate(body.splitlines())) + ",")
 EOF
+    else
+        printf '  "baseline": {},\n'
+    fi
     printf '  "results": [\n'
     printf '%s\n' "$raw" | awk '
         /^Benchmark/ {
@@ -78,5 +109,9 @@ EOF
     printf '  ]\n'
     printf '}\n'
 } >"$OUT"
+
+# Fail loudly if the assembled JSON is malformed rather than committing a
+# snapshot no tool can read.
+python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$OUT"
 
 echo "wrote $OUT"
